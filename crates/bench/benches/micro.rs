@@ -1,0 +1,171 @@
+//! Criterion microbenchmarks for the performance-critical kernels.
+//!
+//! These complement the Figure 7 binary: where `fig7_performance` models
+//! the paper's hardware, these measure this machine's actual throughput of
+//! the building blocks (erf, estimate, gradient, Karma pass, STHoles
+//! estimate, reservoir decisions).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use kdesel_device::{Backend, Device};
+use kdesel_hist::{SthConfig, SthHoles};
+use kdesel_kde::{KarmaConfig, KarmaMaintenance, KdeEstimator, KernelFn, LossFunction};
+use kdesel_sample::ReservoirSampler;
+use kdesel_storage::Table;
+use kdesel_types::{QueryFeedback, Rect};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn uniform_sample(n: usize, dims: usize, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n * dims).map(|_| rng.gen_range(0.0..100.0)).collect()
+}
+
+fn bench_erf(c: &mut Criterion) {
+    let xs: Vec<f64> = (0..1024).map(|i| (i as f64 - 512.0) / 100.0).collect();
+    let mut g = c.benchmark_group("erf");
+    g.throughput(Throughput::Elements(xs.len() as u64));
+    g.bench_function("cody_1024_values", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &x in &xs {
+                acc += kdesel_math::erf(black_box(x));
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+fn bench_estimate(c: &mut Criterion) {
+    let dims = 8;
+    let mut g = c.benchmark_group("kde_estimate");
+    for log2 in [10u32, 13, 16] {
+        let n = 1usize << log2;
+        let sample = uniform_sample(n, dims, 1);
+        let query = Rect::cube(dims, 20.0, 60.0);
+        for backend in [Backend::CpuSeq, Backend::CpuPar] {
+            let mut est = KdeEstimator::new(Device::new(backend), &sample, dims, KernelFn::Gaussian);
+            g.throughput(Throughput::Elements(n as u64));
+            g.bench_with_input(
+                BenchmarkId::new(backend.name(), n),
+                &n,
+                |b, _| b.iter(|| black_box(est.estimate(black_box(&query)))),
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_gradient(c: &mut Criterion) {
+    let dims = 8;
+    let n = 1 << 13;
+    let sample = uniform_sample(n, dims, 2);
+    let est = KdeEstimator::new(Device::new(Backend::CpuPar), &sample, dims, KernelFn::Gaussian);
+    let query = Rect::cube(dims, 20.0, 60.0);
+    let mut g = c.benchmark_group("kde_gradient");
+    g.throughput(Throughput::Elements(n as u64));
+    g.bench_function("8d_8k_points", |b| {
+        b.iter(|| black_box(est.estimator_gradient(black_box(&query))))
+    });
+    g.finish();
+}
+
+fn bench_karma(c: &mut Criterion) {
+    let dims = 8;
+    let n = 1 << 13;
+    let sample = uniform_sample(n, dims, 3);
+    let mut est = KdeEstimator::new(Device::new(Backend::CpuPar), &sample, dims, KernelFn::Gaussian);
+    let mut karma = KarmaMaintenance::new(&est, KarmaConfig::default());
+    let query = Rect::cube(dims, 20.0, 60.0);
+    let estimate = est.estimate(&query);
+    let fb = QueryFeedback {
+        region: query,
+        estimate,
+        actual: estimate * 0.9,
+        cardinality: 0,
+    };
+    let mut g = c.benchmark_group("karma_update");
+    g.throughput(Throughput::Elements(n as u64));
+    g.bench_function("8d_8k_points", |b| {
+        b.iter(|| black_box(karma.update(black_box(&est), black_box(&fb))))
+    });
+    g.finish();
+}
+
+fn bench_stholes(c: &mut Criterion) {
+    // Build a trained histogram, then measure pure estimation.
+    let dims = 3;
+    let data = uniform_sample(20_000, dims, 4);
+    let table = Table::from_rows(dims, &data);
+    let mut hist = SthHoles::new(
+        table.bounding_box().unwrap(),
+        table.row_count() as u64,
+        SthConfig { max_buckets: 512 },
+    );
+    let mut rng = StdRng::seed_from_u64(5);
+    for _ in 0..300 {
+        let c0: Vec<f64> = (0..dims).map(|_| rng.gen_range(5.0..95.0)).collect();
+        let q = Rect::centered(&c0, &vec![5.0; dims]);
+        hist.refine(&q, |r| table.count_in(r));
+    }
+    let query = Rect::cube(dims, 20.0, 60.0);
+    let mut g = c.benchmark_group("stholes");
+    g.bench_function(format!("estimate_{}buckets", hist.bucket_count()), |b| {
+        b.iter(|| black_box(hist.estimate_selectivity(black_box(&query))))
+    });
+    g.finish();
+}
+
+fn bench_reservoir(c: &mut Criterion) {
+    let mut g = c.benchmark_group("reservoir");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("algorithm_r_10k_decisions", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(6);
+            let mut r = ReservoirSampler::new(1024, 1_000_000);
+            let mut hits = 0u32;
+            for _ in 0..10_000 {
+                if let kdesel_sample::ReservoirDecision::Replace(_) = r.observe(&mut rng) {
+                    hits += 1;
+                }
+            }
+            black_box(hits)
+        })
+    });
+    g.finish();
+}
+
+fn bench_loss_gradient(c: &mut Criterion) {
+    let dims = 8;
+    let n = 1 << 12;
+    let sample = uniform_sample(n, dims, 7);
+    let mut est = KdeEstimator::new(Device::new(Backend::CpuPar), &sample, dims, KernelFn::Gaussian);
+    let query = Rect::cube(dims, 10.0, 80.0);
+    let estimate = est.estimate(&query);
+    let mut g = c.benchmark_group("loss_gradient");
+    g.throughput(Throughput::Elements(n as u64));
+    g.bench_function("quadratic_8d_4k", |b| {
+        b.iter(|| {
+            black_box(est.loss_gradient(
+                black_box(&query),
+                estimate,
+                0.01,
+                LossFunction::Quadratic,
+            ))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_erf,
+    bench_estimate,
+    bench_gradient,
+    bench_karma,
+    bench_stholes,
+    bench_reservoir,
+    bench_loss_gradient
+);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Ablation: logarithmic vs. linear bandwidth updates (§5.5).
+//!
+//! The paper: "we found that updating the logarithm of the bandwidth often
+//! leads to improved estimates... we observed improvements over the
+//! non-logarithmic case in 68% of all experiments." This binary reruns that
+//! comparison across datasets × workloads and reports the win fraction.
+
+use kdesel_bench::{emit, Cli};
+use kdesel_engine::experiments::ablation::{run_log_update_ablation, AblationConfig};
+use kdesel_engine::report::{fmt, TextTable};
+
+fn main() {
+    let cli = Cli::parse();
+    let config = AblationConfig {
+        rows: cli.rows_or(5_000, 20_000),
+        repetitions: cli.reps_or(2, 10),
+        queries: if cli.full { 400 } else { 150 },
+        seed: cli.seed.unwrap_or(0xab1a),
+        ..Default::default()
+    };
+    eprintln!(
+        "# Ablation: log vs linear adaptive updates (rows={} reps={} queries={})",
+        config.rows, config.repetitions, config.queries
+    );
+    let result = run_log_update_ablation(&config);
+    let mut table = TextTable::new(["dataset", "workload", "rep", "log_error", "linear_error", "log_wins"]);
+    for (dataset, workload, rep, log, lin) in &result.experiments {
+        table.row([
+            dataset.name().to_string(),
+            workload.name().to_string(),
+            rep.to_string(),
+            fmt(*log),
+            fmt(*lin),
+            (log < lin).to_string(),
+        ]);
+    }
+    emit(&cli, &table);
+    println!(
+        "\nlogarithmic updates better in {:.1}% of {} experiments (paper: 68%)",
+        100.0 * result.log_win_fraction(),
+        result.experiments.len()
+    );
+}

@@ -1,0 +1,31 @@
+//! Ablation: sensitivity of the adaptive estimator's parameters.
+//!
+//! Sweeps the mini-batch size `N` (paper §4.1: "a value around 10 works
+//! well"), the Karma saturation cap `K_max` (footnote 3: 4), and the Karma
+//! replacement threshold (unspecified in the paper; −2 is this
+//! repository's default) on the synthetic dataset's DT workload.
+
+use kdesel_bench::{emit, Cli};
+use kdesel_engine::experiments::ablation::{run_parameter_sweep, AblationConfig};
+use kdesel_engine::report::{fmt, TextTable};
+
+fn main() {
+    let cli = Cli::parse();
+    let config = AblationConfig {
+        rows: cli.rows_or(5_000, 20_000),
+        repetitions: cli.reps_or(2, 10),
+        queries: if cli.full { 400 } else { 150 },
+        seed: cli.seed.unwrap_or(0xab1a),
+        ..Default::default()
+    };
+    eprintln!(
+        "# Ablation: adaptive-estimator parameter sweep (rows={} reps={})",
+        config.rows, config.repetitions
+    );
+    let points = run_parameter_sweep(&config);
+    let mut table = TextTable::new(["parameter", "value", "mean_error"]);
+    for p in &points {
+        table.row([p.parameter.to_string(), p.value.to_string(), fmt(p.error)]);
+    }
+    emit(&cli, &table);
+}

@@ -1,0 +1,59 @@
+//! Extended baseline comparison (beyond the paper's Figure 4/5 lineup).
+//!
+//! Adds the §2 strawmen — the attribute-value-independence estimator
+//! (per-dimension equi-depth histograms, multiplied) and the naive
+//! sample-counting estimator — to the paper's five, over the synthetic and
+//! forest datasets. Expected shape: AVI collapses on correlated data, the
+//! sampling estimator loses to every KDE variant (the §2.3 claim), and the
+//! paper's ordering among the original five is unchanged.
+
+use kdesel_bench::{emit, emit_winrates, Cli};
+use kdesel_engine::estimators::EstimatorKind;
+use kdesel_engine::experiments::static_quality::{run_static_cell, StaticCell, StaticConfig};
+use kdesel_engine::experiments::winrate::WinRateMatrix;
+use kdesel_engine::report::{fmt, TextTable};
+use kdesel_data::{Dataset, WorkloadKind};
+
+fn main() {
+    let cli = Cli::parse();
+    let config = StaticConfig {
+        rows: cli.rows_or(6_000, 100_000),
+        repetitions: cli.reps_or(2, 25),
+        train_queries: if cli.full { 100 } else { 50 },
+        test_queries: if cli.full { 300 } else { 100 },
+        estimators: EstimatorKind::EXTENDED.to_vec(),
+        seed: cli.seed.unwrap_or(0xba5e),
+        fast_optimizers: !cli.full,
+        ..Default::default()
+    };
+    eprintln!(
+        "# Extended baselines (rows={} reps={})",
+        config.rows, config.repetitions
+    );
+    let mut table = TextTable::new(["dataset", "workload", "estimator", "mean_error", "median"]);
+    let mut matrix = WinRateMatrix::new(config.estimators.clone());
+    for dataset in [Dataset::Synthetic, Dataset::Forest] {
+        for workload in [WorkloadKind::DataTarget, WorkloadKind::DataVolume] {
+            let cell = StaticCell {
+                dataset,
+                dims: 3,
+                workload,
+            };
+            eprintln!("# running {} {} ...", dataset.name(), workload.name());
+            let result = run_static_cell(cell, &config);
+            for (kind, summary) in &result.summaries {
+                table.row([
+                    dataset.name().to_string(),
+                    workload.name().to_string(),
+                    kind.name().to_string(),
+                    fmt(summary.mean()),
+                    fmt(summary.median()),
+                ]);
+            }
+            matrix.add_cell(&result);
+        }
+    }
+    emit(&cli, &table);
+    println!();
+    emit_winrates(&cli, &matrix, "win rates incl. AVI & sampling baselines (%)");
+}

@@ -1,0 +1,12 @@
+//! Figure 4: estimation quality on static 3D datasets.
+//!
+//! Prints, for every dataset × workload cell, the boxplot statistics of the
+//! mean absolute selectivity error per estimator over the repetitions —
+//! the numbers behind the paper's Figure 4 — plus the pairwise win-rate
+//! matrix over the 3D experiments.
+
+use kdesel_bench::{run_static_figure, Cli};
+
+fn main() {
+    run_static_figure(&Cli::parse(), 3, "Figure 4: static estimation quality, 3D datasets");
+}

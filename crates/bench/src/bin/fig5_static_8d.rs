@@ -1,0 +1,9 @@
+//! Figure 5: estimation quality on static 8D datasets.
+//!
+//! Same protocol as Figure 4 at dimensionality 8; see `fig4_static_3d`.
+
+use kdesel_bench::{run_static_figure, Cli};
+
+fn main() {
+    run_static_figure(&Cli::parse(), 8, "Figure 5: static estimation quality, 8D datasets");
+}

@@ -1,0 +1,47 @@
+//! Figure 6: estimation quality with growing model size.
+//!
+//! Forest 8D, DT workload; sample sizes 1024 … 32768; Heuristic, Batch and
+//! Adaptive; mean absolute error over 100 test queries, 10 repetitions.
+
+use kdesel_bench::{emit, Cli};
+use kdesel_engine::experiments::scaling::{run_scaling, ScalingConfig};
+use kdesel_engine::report::{fmt, TextTable};
+
+fn main() {
+    let cli = Cli::parse();
+    let config = ScalingConfig {
+        rows: cli.rows_or(20_000, 100_000),
+        repetitions: cli.reps_or(2, 10),
+        sample_sizes: if cli.full {
+            (10..=15).map(|p| 1usize << p).collect()
+        } else {
+            (9..=12).map(|p| 1usize << p).collect()
+        },
+        train_queries: if cli.full { 100 } else { 50 },
+        test_queries: if cli.full { 100 } else { 50 },
+        seed: cli.seed.unwrap_or(0xf16_6),
+        fast_optimizers: !cli.full,
+        ..Default::default()
+    };
+    eprintln!(
+        "# Figure 6: error vs model size (forest 8D, DT; rows={} reps={})",
+        config.rows, config.repetitions
+    );
+    let result = run_scaling(&config);
+    let mut table = TextTable::new(["sample_size", "estimator", "mean_error", "median", "q1", "q3"]);
+    for (si, &size) in result.sample_sizes.iter().enumerate() {
+        for (kind, summaries) in &result.series {
+            let s = &summaries[si];
+            let f = s.five_numbers();
+            table.row([
+                size.to_string(),
+                kind.name().to_string(),
+                fmt(s.mean()),
+                fmt(f.median),
+                fmt(f.q1),
+                fmt(f.q3),
+            ]);
+        }
+    }
+    emit(&cli, &table);
+}

@@ -1,0 +1,222 @@
+//! Shared CLI plumbing for the experiment binaries.
+//!
+//! Every figure/table of the paper has one binary under `src/bin/`. Each
+//! accepts:
+//!
+//! * `--full` — paper-scale parameters (slow; the default is a reduced
+//!   "quick" configuration that preserves every qualitative result),
+//! * `--rows N`, `--reps N`, `--seed N` — explicit overrides,
+//! * `--csv` — machine-readable output instead of aligned text.
+
+/// Parsed common options.
+#[derive(Debug, Clone)]
+pub struct Cli {
+    /// Paper-scale run.
+    pub full: bool,
+    /// Row-count override.
+    pub rows: Option<usize>,
+    /// Repetition override.
+    pub reps: Option<usize>,
+    /// Seed override.
+    pub seed: Option<u64>,
+    /// Emit CSV.
+    pub csv: bool,
+}
+
+impl Cli {
+    /// Parses `std::env::args`.
+    ///
+    /// # Panics
+    /// Panics (with a usage message) on malformed arguments.
+    pub fn parse() -> Self {
+        Self::from_args(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit argument list (testable).
+    pub fn from_args<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let mut cli = Self {
+            full: false,
+            rows: None,
+            reps: None,
+            seed: None,
+            csv: false,
+        };
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--full" => cli.full = true,
+                "--csv" => cli.csv = true,
+                "--rows" => {
+                    cli.rows = Some(
+                        it.next()
+                            .and_then(|v| v.parse().ok())
+                            .expect("--rows needs an integer"),
+                    )
+                }
+                "--reps" => {
+                    cli.reps = Some(
+                        it.next()
+                            .and_then(|v| v.parse().ok())
+                            .expect("--reps needs an integer"),
+                    )
+                }
+                "--seed" => {
+                    cli.seed = Some(
+                        it.next()
+                            .and_then(|v| v.parse().ok())
+                            .expect("--seed needs an integer"),
+                    )
+                }
+                "--help" | "-h" => {
+                    eprintln!(
+                        "options: --full  --rows N  --reps N  --seed N  --csv"
+                    );
+                    std::process::exit(0);
+                }
+                other => {
+                    eprintln!("unknown argument {other}; try --help");
+                    std::process::exit(2);
+                }
+            }
+        }
+        cli
+    }
+
+    /// Picks `full_value` under `--full`, else `quick_value`, unless
+    /// overridden.
+    pub fn rows_or(&self, quick_value: usize, full_value: usize) -> usize {
+        self.rows.unwrap_or(if self.full { full_value } else { quick_value })
+    }
+
+    /// Repetitions with the same precedence rules.
+    pub fn reps_or(&self, quick_value: usize, full_value: usize) -> usize {
+        self.reps.unwrap_or(if self.full { full_value } else { quick_value })
+    }
+}
+
+/// Runs the Figure 4/5 protocol at the given dimensionality and prints the
+/// per-cell boxplot table plus the dims-restricted win-rate matrix.
+pub fn run_static_figure(cli: &Cli, dims: usize, title: &str) {
+    use kdesel_engine::experiments::static_quality::{figure_cells, run_static_cell, StaticConfig};
+    use kdesel_engine::experiments::winrate::WinRateMatrix;
+    use kdesel_engine::report::{fmt, TextTable};
+
+    let config = StaticConfig {
+        rows: cli.rows_or(6_000, 100_000),
+        repetitions: cli.reps_or(2, 25),
+        train_queries: if cli.full { 100 } else { 50 },
+        test_queries: if cli.full { 300 } else { 100 },
+        seed: cli.seed.unwrap_or(0x5e1ec7),
+        fast_optimizers: !cli.full,
+        ..Default::default()
+    };
+    eprintln!(
+        "# {title}\n# rows={} reps={} train={} test={}",
+        config.rows, config.repetitions, config.train_queries, config.test_queries
+    );
+
+    let mut table = TextTable::new([
+        "dataset", "workload", "estimator", "mean", "min", "q1", "median", "q3", "max",
+    ]);
+    let mut matrix = WinRateMatrix::new(config.estimators.clone());
+    for cell in figure_cells(dims) {
+        eprintln!(
+            "# running {} {} ...",
+            cell.dataset.name(),
+            cell.workload.name()
+        );
+        let result = run_static_cell(cell, &config);
+        for (kind, summary) in &result.summaries {
+            let f = summary.five_numbers();
+            table.row([
+                cell.dataset.name().to_string(),
+                cell.workload.name().to_string(),
+                kind.name().to_string(),
+                fmt(summary.mean()),
+                fmt(f.min),
+                fmt(f.q1),
+                fmt(f.median),
+                fmt(f.q3),
+                fmt(f.max),
+            ]);
+        }
+        matrix.add_cell(&result);
+    }
+    emit(cli, &table);
+    println!();
+    emit_winrates(cli, &matrix, &format!("win rates over {dims}D experiments (%)"));
+}
+
+/// Prints a win-rate matrix in the Table 1 layout.
+pub fn emit_winrates(
+    cli: &Cli,
+    matrix: &kdesel_engine::experiments::winrate::WinRateMatrix,
+    title: &str,
+) {
+    use kdesel_engine::report::TextTable;
+    println!("# {title}");
+    let mut header: Vec<String> = vec!["row_beats".to_string()];
+    header.extend(matrix.estimators().iter().map(|k| k.name().to_string()));
+    header.push("all".to_string());
+    let mut t = TextTable::new(header);
+    for &row in matrix.estimators() {
+        let mut cells = vec![row.name().to_string()];
+        for &col in matrix.estimators() {
+            cells.push(match matrix.rate(row, col) {
+                Some(r) => format!("{r:.1}"),
+                None => "-".to_string(),
+            });
+        }
+        cells.push(match matrix.rate_against_all(row) {
+            Some(r) => format!("{r:.1}"),
+            None => "-".to_string(),
+        });
+        t.row(cells);
+    }
+    emit(cli, &t);
+}
+
+/// Prints a table in the format the CLI selected.
+pub fn emit(cli: &Cli, table: &kdesel_engine::report::TextTable) {
+    if cli.csv {
+        print!("{}", table.to_csv());
+    } else {
+        print!("{}", table.render());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Cli {
+        Cli::from_args(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults_are_quick() {
+        let cli = parse(&[]);
+        assert!(!cli.full);
+        assert!(!cli.csv);
+        assert_eq!(cli.rows_or(10, 100), 10);
+        assert_eq!(cli.reps_or(2, 25), 2);
+    }
+
+    #[test]
+    fn full_switches_scales() {
+        let cli = parse(&["--full"]);
+        assert_eq!(cli.rows_or(10, 100), 100);
+        assert_eq!(cli.reps_or(2, 25), 25);
+    }
+
+    #[test]
+    fn explicit_overrides_win() {
+        let cli = parse(&["--full", "--rows", "42", "--reps", "7", "--seed", "9"]);
+        assert_eq!(cli.rows_or(10, 100), 42);
+        assert_eq!(cli.reps_or(2, 25), 7);
+        assert_eq!(cli.seed, Some(9));
+    }
+
+    // Unknown flags exit(2) with a message (verified manually; exit paths
+    // are not unit-testable in-process).
+}

@@ -1,0 +1,235 @@
+//! Plain CSV ingestion for real datasets.
+//!
+//! The evaluation datasets ship as seeded *simulacra* (see the crate docs);
+//! users who have the actual UCI files — or any numeric CSV — can load them
+//! with this module and run every experiment against the real bytes. The
+//! parser is intentionally minimal: comma (or custom) delimiter, optional
+//! header row, `f64` columns, strict row arity.
+
+use kdesel_storage::Table;
+
+/// CSV parsing options.
+#[derive(Debug, Clone)]
+pub struct CsvOptions {
+    /// Field delimiter (default `,`).
+    pub delimiter: char,
+    /// Skip the first line as a header (default: auto-detect — skipped when
+    /// any field of the first line fails to parse as a number).
+    pub has_header: Option<bool>,
+    /// Columns to keep (all when empty).
+    pub columns: Vec<usize>,
+}
+
+impl Default for CsvOptions {
+    fn default() -> Self {
+        Self {
+            delimiter: ',',
+            has_header: None,
+            columns: Vec::new(),
+        }
+    }
+}
+
+/// Parse error with location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsvError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Explanation.
+    pub message: String,
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "CSV line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+/// Parses CSV text into a [`Table`].
+///
+/// Empty lines are skipped. Every data row must have the same arity (after
+/// column projection); non-numeric fields and NaN are errors.
+pub fn parse_csv(text: &str, options: &CsvOptions) -> Result<Table, CsvError> {
+    let mut rows: Vec<Vec<f64>> = Vec::new();
+    let mut width: Option<usize> = None;
+    let mut first_content_line = true;
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(options.delimiter).map(str::trim).collect();
+        let parsed: Result<Vec<f64>, usize> = fields
+            .iter()
+            .enumerate()
+            .map(|(i, f)| f.parse::<f64>().map_err(|_| i))
+            .collect();
+        if first_content_line {
+            first_content_line = false;
+            let treat_as_header = options.has_header.unwrap_or(parsed.is_err());
+            if treat_as_header {
+                continue;
+            }
+        }
+        let mut values = match parsed {
+            Ok(v) => v,
+            Err(col) => {
+                return Err(CsvError {
+                    line: lineno + 1,
+                    message: format!("field {} ({:?}) is not numeric", col + 1, fields[col]),
+                })
+            }
+        };
+        if values.iter().any(|v| v.is_nan()) {
+            return Err(CsvError {
+                line: lineno + 1,
+                message: "NaN value".to_string(),
+            });
+        }
+        if !options.columns.is_empty() {
+            let mut projected = Vec::with_capacity(options.columns.len());
+            for &c in &options.columns {
+                if c >= values.len() {
+                    return Err(CsvError {
+                        line: lineno + 1,
+                        message: format!("column {c} out of range ({} fields)", values.len()),
+                    });
+                }
+                projected.push(values[c]);
+            }
+            values = projected;
+        }
+        match width {
+            None => width = Some(values.len()),
+            Some(w) if w != values.len() => {
+                return Err(CsvError {
+                    line: lineno + 1,
+                    message: format!("expected {w} fields, found {}", values.len()),
+                })
+            }
+            _ => {}
+        }
+        rows.push(values);
+    }
+    let width = width.ok_or(CsvError {
+        line: 0,
+        message: "no data rows".to_string(),
+    })?;
+    if width == 0 {
+        return Err(CsvError {
+            line: 1,
+            message: "zero columns".to_string(),
+        });
+    }
+    let mut data = Vec::with_capacity(rows.len() * width);
+    for r in rows {
+        data.extend(r);
+    }
+    Ok(Table::from_rows(width, &data))
+}
+
+/// Loads a CSV file into a [`Table`].
+pub fn load_csv_file(
+    path: &std::path::Path,
+    options: &CsvOptions,
+) -> Result<Table, Box<dyn std::error::Error>> {
+    let text = std::fs::read_to_string(path)?;
+    Ok(parse_csv(&text, options)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_plain_numeric_csv() {
+        let t = parse_csv("1,2.5\n3,4\n", &CsvOptions::default()).unwrap();
+        assert_eq!(t.dims(), 2);
+        assert_eq!(t.row_count(), 2);
+        assert_eq!(t.row(0), Some([1.0, 2.5].as_slice()));
+    }
+
+    #[test]
+    fn auto_detects_header() {
+        let t = parse_csv("x,y\n1,2\n3,4\n", &CsvOptions::default()).unwrap();
+        assert_eq!(t.row_count(), 2);
+        // Explicit no-header on all-numeric first row keeps it.
+        let t2 = parse_csv(
+            "1,2\n3,4\n",
+            &CsvOptions {
+                has_header: Some(false),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(t2.row_count(), 2);
+        // Forced header drops a numeric first row.
+        let t3 = parse_csv(
+            "1,2\n3,4\n",
+            &CsvOptions {
+                has_header: Some(true),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(t3.row_count(), 1);
+    }
+
+    #[test]
+    fn column_projection() {
+        let opts = CsvOptions {
+            columns: vec![2, 0],
+            ..Default::default()
+        };
+        let t = parse_csv("1,2,3\n4,5,6\n", &opts).unwrap();
+        assert_eq!(t.dims(), 2);
+        assert_eq!(t.row(0), Some([3.0, 1.0].as_slice()));
+    }
+
+    #[test]
+    fn custom_delimiter_and_blank_lines() {
+        let opts = CsvOptions {
+            delimiter: ';',
+            ..Default::default()
+        };
+        let t = parse_csv("1;2\n\n  \n3;4\n", &opts).unwrap();
+        assert_eq!(t.row_count(), 2);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = parse_csv("1,2\nfoo,4\n", &CsvOptions::default()).unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("not numeric"));
+
+        let err = parse_csv("1,2\n3\n", &CsvOptions::default()).unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("expected 2 fields"));
+
+        let err = parse_csv("", &CsvOptions::default()).unwrap_err();
+        assert!(err.message.contains("no data rows"));
+
+        let err = parse_csv(
+            "1,2\n",
+            &CsvOptions {
+                columns: vec![5],
+                ..Default::default()
+            },
+        )
+        .unwrap_err();
+        assert!(err.message.contains("out of range"));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("kdesel_csv_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.csv");
+        std::fs::write(&path, "a,b\n1,2\n3,4\n").unwrap();
+        let t = load_csv_file(&path, &CsvOptions::default()).unwrap();
+        assert_eq!(t.row_count(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,147 @@
+//! Bike-sharing simulacrum.
+//!
+//! Stands in for the UCI "Bike Sharing" dataset the paper uses (§6.1.2:
+//! "Hourly aggregated usage statistics for the Washington DC bike sharing
+//! system... 17,379 data points with 16 continuous attributes"). The
+//! generator reproduces the dataset's statistical character:
+//!
+//! * an hourly time index with strong daily and yearly periodicity,
+//! * weather variables (temp, feels-like temp, humidity, windspeed) with
+//!   the documented correlations (temp↔atemp ≈ 0.99, temp↔humidity < 0),
+//! * demand counts (casual, registered, total) that are non-negative,
+//!   right-skewed, bimodal over the day (commute peaks) and strongly
+//!   correlated with temperature and hour,
+//! * calendar attributes (season, weekday, workingday) stored as reals.
+
+use kdesel_storage::Table;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rand_distr::{Distribution, Normal};
+
+/// Generates `rows` hourly records. 16 attributes per row:
+/// `[hour, day_of_week, season, workingday, temp, atemp, humidity,
+///   windspeed, visibility, uv_index, casual, registered, total,
+///   lag_total, temp_trend, pressure]`.
+pub fn generate(rows: usize, seed: u64) -> Table {
+    assert!(rows > 0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let noise: Normal<f64> = Normal::new(0.0, 1.0).expect("valid normal");
+    let mut data = Vec::with_capacity(rows * 16);
+    let mut prev_total = 100.0;
+
+    for t in 0..rows {
+        let hour = (t % 24) as f64;
+        let day = ((t / 24) % 7) as f64;
+        let yearday = ((t / 24) % 365) as f64;
+        let season = (yearday / 91.25).floor().min(3.0);
+        let workingday = if day < 5.0 { 1.0 } else { 0.0 };
+
+        // Weather: yearly + daily temperature cycle, °C-ish scale.
+        let seasonal = 12.0 - 14.0 * (2.0 * std::f64::consts::PI * (yearday - 15.0) / 365.0).cos();
+        let diurnal = 4.0 * (2.0 * std::f64::consts::PI * (hour - 14.0) / 24.0).cos();
+        let temp = seasonal + diurnal + 2.0 * noise.sample(&mut rng);
+        let atemp = 0.95 * temp + 1.0 + 0.8 * noise.sample(&mut rng); // ρ ≈ 0.99
+        let humidity = (75.0 - 1.2 * temp + 8.0 * noise.sample(&mut rng)).clamp(0.0, 100.0);
+        let windspeed = (8.0 + 4.0 * noise.sample(&mut rng)).abs();
+        let visibility = (10.0 - 0.04 * humidity + 0.5 * noise.sample(&mut rng)).clamp(0.5, 10.0);
+        let uv_index = ((temp / 6.0) * (1.0 - humidity / 200.0)
+            * (-((hour - 13.0) / 4.0).powi(2)).exp())
+        .max(0.0);
+
+        // Demand: commute double peak on working days, midday hump on
+        // weekends; modulated by temperature; right-skewed noise.
+        let commute = (-((hour - 8.0) / 1.5).powi(2)).exp() + (-((hour - 18.0) / 2.0).powi(2)).exp();
+        let leisure = (-((hour - 14.0) / 3.5).powi(2)).exp();
+        let shape = if workingday == 1.0 {
+            0.8 * commute + 0.2 * leisure
+        } else {
+            0.15 * commute + 0.85 * leisure
+        };
+        let weather_factor = (1.0 + (temp - 10.0) / 25.0).clamp(0.1, 2.0)
+            * (1.0 - (humidity - 60.0).max(0.0) / 120.0);
+        let base = 260.0 * shape * weather_factor;
+        let lognorm = (0.35 * noise.sample(&mut rng)).exp();
+        let registered = (base * lognorm * if workingday == 1.0 { 1.0 } else { 0.55 }).max(0.0);
+        let casual =
+            (0.35 * base * lognorm * if workingday == 1.0 { 0.4 } else { 1.3 }).max(0.0);
+        let total = casual + registered;
+
+        let temp_trend = diurnal + 0.5 * noise.sample(&mut rng);
+        let pressure = 1013.0 - 0.3 * temp + 3.0 * noise.sample(&mut rng);
+
+        data.extend_from_slice(&[
+            hour + rng.gen_range(0.0..1.0) * 1e-3, // break exact ties, keep hour semantics
+            day,
+            season,
+            workingday,
+            temp,
+            atemp,
+            humidity,
+            windspeed,
+            visibility,
+            uv_index,
+            casual,
+            registered,
+            total,
+            prev_total,
+            temp_trend,
+            pressure,
+        ]);
+        prev_total = total;
+    }
+    Table::from_rows(16, &data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kdesel_math::Covariance;
+
+    fn cov_of(rows: usize) -> (Table, Covariance) {
+        let t = generate(rows, 42);
+        let mut c = Covariance::new(16);
+        for (_, r) in t.rows() {
+            c.add(r);
+        }
+        (t, c)
+    }
+
+    #[test]
+    fn temp_and_atemp_strongly_correlated() {
+        let (_, c) = cov_of(5000);
+        assert!(c.correlation(4, 5) > 0.9, "ρ = {}", c.correlation(4, 5));
+    }
+
+    #[test]
+    fn temp_and_humidity_anticorrelated() {
+        let (_, c) = cov_of(5000);
+        assert!(c.correlation(4, 6) < -0.2, "ρ = {}", c.correlation(4, 6));
+    }
+
+    #[test]
+    fn demand_correlates_with_temperature() {
+        let (_, c) = cov_of(5000);
+        assert!(c.correlation(4, 12) > 0.2, "ρ = {}", c.correlation(4, 12));
+    }
+
+    #[test]
+    fn counts_are_nonnegative_and_skewed() {
+        let (t, c) = cov_of(5000);
+        for (_, r) in t.rows() {
+            assert!(r[10] >= 0.0 && r[11] >= 0.0 && r[12] >= 0.0);
+        }
+        // Right skew: mean above median for total count.
+        let mut totals: Vec<f64> = t.rows().map(|(_, r)| r[12]).collect();
+        totals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = totals[totals.len() / 2];
+        assert!(c.means()[12] > median, "not right-skewed");
+    }
+
+    #[test]
+    fn total_is_casual_plus_registered() {
+        let t = generate(500, 3);
+        for (_, r) in t.rows() {
+            assert!((r[12] - (r[10] + r[11])).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! Forest cover-type simulacrum.
+//!
+//! Stands in for the UCI "Covertype" dataset (§6.1.2: "Geological survey of
+//! forest cover types in the US... 581,012 points"; the paper projects onto
+//! the 10 continuous attributes). The generator reproduces its character:
+//!
+//! * elevation as a mixture over cover-type zones → multi-modal marginal,
+//! * aspect as a circular (wrapped) variable in [0, 360),
+//! * slope right-skewed,
+//! * horizontal/vertical hydrology distances correlated with each other
+//!   and with elevation,
+//! * the three hillshade indices (9am/noon/3pm) bounded in [0, 255] and
+//!   driven by aspect & slope, giving strong negative 9am↔3pm correlation.
+//!
+//! Attribute order matches the UCI continuous columns:
+//! `[elevation, aspect, slope, horiz_hydro, vert_hydro, horiz_road,
+//!   hillshade_9am, hillshade_noon, hillshade_3pm, horiz_fire]`.
+
+use kdesel_storage::Table;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rand_distr::{Distribution, Normal};
+
+/// Elevation zones: (mean elevation, weight) per dominant cover type.
+const ZONES: [(f64, f64); 4] = [
+    (2200.0, 0.15),
+    (2600.0, 0.25),
+    (2950.0, 0.45),
+    (3350.0, 0.15),
+];
+
+/// Generates `rows` survey cells with 10 continuous attributes.
+pub fn generate(rows: usize, seed: u64) -> Table {
+    assert!(rows > 0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let noise: Normal<f64> = Normal::new(0.0, 1.0).expect("valid normal");
+    let mut data = Vec::with_capacity(rows * 10);
+
+    for _ in 0..rows {
+        // Pick an elevation zone (multi-modal marginal).
+        let u: f64 = rng.gen();
+        let mut acc = 0.0;
+        let mut zone = ZONES[ZONES.len() - 1];
+        for z in ZONES {
+            acc += z.1;
+            if u <= acc {
+                zone = z;
+                break;
+            }
+        }
+        let elevation = zone.0 + 130.0 * noise.sample(&mut rng);
+
+        let aspect: f64 = rng.gen_range(0.0..360.0);
+        // Slope: right-skewed via squared normal, steeper at high elevation.
+        let slope = (2.0 + 10.0 * noise.sample(&mut rng).powi(2)
+            + (elevation - 2800.0).max(0.0) / 150.0)
+            .clamp(0.0, 60.0);
+
+        // Hydrology distances: higher cells sit further from water; the
+        // vertical distance tracks the horizontal one.
+        let horiz_hydro = ((elevation - 1900.0) / 4.0
+            + 90.0 * noise.sample(&mut rng).abs())
+        .max(0.0);
+        let vert_hydro = 0.18 * horiz_hydro + 15.0 * noise.sample(&mut rng);
+
+        let horiz_road = (1500.0 + (elevation - 2800.0) * 1.1
+            + 700.0 * noise.sample(&mut rng))
+        .max(0.0);
+        let horiz_fire = (1400.0 + 0.3 * horiz_road + 600.0 * noise.sample(&mut rng)).max(0.0);
+
+        // Hillshade model: illumination from the east at 9am, south at noon,
+        // west at 3pm; east faces bright in the morning, dark in the
+        // afternoon — the classic negative 9am↔3pm correlation.
+        let asp_rad = aspect.to_radians();
+        let slope_factor = (slope / 60.0) * 110.0;
+        let mut hs = |sun_azimuth_deg: f64, base: f64| -> f64 {
+            let delta = (asp_rad - sun_azimuth_deg.to_radians()).cos();
+            (base + slope_factor * delta + 8.0 * noise.sample(&mut rng)).clamp(0.0, 255.0)
+        };
+        let hillshade_9am = hs(100.0, 212.0);
+        let hillshade_noon = hs(180.0, 223.0);
+        let hillshade_3pm = hs(260.0, 140.0);
+
+        data.extend_from_slice(&[
+            elevation,
+            aspect,
+            slope,
+            horiz_hydro,
+            vert_hydro,
+            horiz_road,
+            hillshade_9am,
+            hillshade_noon,
+            hillshade_3pm,
+            horiz_fire,
+        ]);
+    }
+    Table::from_rows(10, &data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kdesel_math::Covariance;
+
+    #[test]
+    fn elevation_is_multimodal() {
+        let t = generate(20_000, 1);
+        // Histogram over 100 m bins between 1800 and 3800: a unimodal
+        // distribution has one run of increases then decreases; count local
+        // maxima above a noise floor.
+        let mut bins = [0u32; 20];
+        for (_, r) in t.rows() {
+            let b = (((r[0] - 1800.0) / 100.0) as isize).clamp(0, 19) as usize;
+            bins[b] += 1;
+        }
+        let mut peaks = 0;
+        for i in 1..19 {
+            if bins[i] > bins[i - 1] && bins[i] >= bins[i + 1] && bins[i] > 400 {
+                peaks += 1;
+            }
+        }
+        assert!(peaks >= 2, "elevation looks unimodal: {bins:?}");
+    }
+
+    #[test]
+    fn hillshade_morning_afternoon_anticorrelated() {
+        let t = generate(10_000, 2);
+        let mut c = Covariance::new(10);
+        for (_, r) in t.rows() {
+            c.add(r);
+        }
+        assert!(c.correlation(6, 8) < -0.3, "ρ = {}", c.correlation(6, 8));
+    }
+
+    #[test]
+    fn hydrology_distances_correlate() {
+        let t = generate(10_000, 3);
+        let mut c = Covariance::new(10);
+        for (_, r) in t.rows() {
+            c.add(r);
+        }
+        assert!(c.correlation(3, 4) > 0.4, "ρ = {}", c.correlation(3, 4));
+        assert!(c.correlation(0, 3) > 0.2, "ρ = {}", c.correlation(0, 3));
+    }
+
+    #[test]
+    fn value_ranges_are_physical() {
+        let t = generate(5_000, 4);
+        for (_, r) in t.rows() {
+            assert!((0.0..360.0).contains(&r[1]), "aspect {}", r[1]);
+            assert!((0.0..=60.0).contains(&r[2]), "slope {}", r[2]);
+            for hs in &r[6..9] {
+                assert!((0.0..=255.0).contains(hs), "hillshade {hs}");
+            }
+            assert!(r[3] >= 0.0 && r[5] >= 0.0 && r[9] >= 0.0);
+        }
+    }
+
+    #[test]
+    fn slope_is_right_skewed() {
+        let t = generate(10_000, 5);
+        let mut slopes: Vec<f64> = t.rows().map(|(_, r)| r[2]).collect();
+        slopes.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mean = slopes.iter().sum::<f64>() / slopes.len() as f64;
+        let median = slopes[slopes.len() / 2];
+        assert!(mean > median * 1.05, "mean {mean} vs median {median}");
+    }
+}

@@ -1,0 +1,153 @@
+//! Household power-consumption simulacrum.
+//!
+//! Stands in for the UCI "Individual household electric power consumption"
+//! dataset (§6.1.2: "Time series describing the electric power consumption
+//! in a single household with one-minute resolution... 9 attributes
+//! containing continuous and discrete values"). Reproduced character:
+//!
+//! * minute-of-day / day-of-week time attributes,
+//! * global active power: non-negative, strongly right-skewed, spiky, with
+//!   morning/evening peaks and appliance bursts,
+//! * global intensity ∝ active power (ρ ≈ 1, the dataset's famous
+//!   near-duplicate column),
+//! * voltage ≈ 240 V with small fluctuations, weakly anti-correlated with
+//!   load,
+//! * three sub-meterings that are zero-inflated small integers (the
+//!   "discrete values" the paper mentions) summing to less than the total.
+//!
+//! Attribute order: `[minute_of_day, day_of_week, active_power,
+//! reactive_power, voltage, intensity, sub1, sub2, sub3]`.
+
+use kdesel_storage::Table;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rand_distr::{Distribution, Normal};
+
+/// Generates `rows` minute-resolution readings with 9 attributes.
+pub fn generate(rows: usize, seed: u64) -> Table {
+    assert!(rows > 0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let noise: Normal<f64> = Normal::new(0.0, 1.0).expect("valid normal");
+    let mut data = Vec::with_capacity(rows * 9);
+    // Appliance burst state machine: occasionally a heavy appliance (oven,
+    // water heater) runs for a contiguous stretch of minutes.
+    let mut burst_left = 0u32;
+    let mut burst_power = 0.0;
+
+    for t in 0..rows {
+        let minute = (t % 1440) as f64;
+        let day = ((t / 1440) % 7) as f64;
+        let hour = minute / 60.0;
+
+        // Daily base-load profile: low overnight, morning and evening peaks.
+        let profile = 0.3
+            + 0.9 * (-((hour - 7.5) / 1.8).powi(2)).exp()
+            + 1.4 * (-((hour - 20.0) / 2.2).powi(2)).exp();
+
+        if burst_left == 0 && rng.gen_bool(0.004) {
+            burst_left = rng.gen_range(10..90);
+            burst_power = rng.gen_range(1.0..4.0);
+        }
+        let burst = if burst_left > 0 {
+            burst_left -= 1;
+            burst_power
+        } else {
+            0.0
+        };
+
+        // Right-skewed multiplicative noise on the base load.
+        let active = ((profile * (0.25 * noise.sample(&mut rng)).exp()) + burst).max(0.02);
+        let reactive = (0.1 + 0.04 * active + 0.05 * noise.sample(&mut rng).abs()).max(0.0);
+        let voltage = 240.0 - 1.1 * active + 1.8 * noise.sample(&mut rng);
+        // I = P/U (scaled): the near-duplicate column.
+        let intensity = active * 1000.0 / voltage.max(1.0) / 4.0;
+
+        // Sub-meterings: zero-inflated small integers (Wh within the minute).
+        let sub1 = if rng.gen_bool(0.06) {
+            rng.gen_range(1..40) as f64
+        } else {
+            0.0
+        }; // kitchen
+        let sub2 = if rng.gen_bool(0.10) {
+            rng.gen_range(1..30) as f64
+        } else {
+            0.0
+        }; // laundry
+           // Water-heater/AC tracks bursts.
+        let sub3 = if burst > 0.5 {
+            (burst * 4.5).round()
+        } else if rng.gen_bool(0.3) {
+            rng.gen_range(0..2) as f64
+        } else {
+            0.0
+        };
+
+        data.extend_from_slice(&[
+            minute, day, active, reactive, voltage, intensity, sub1, sub2, sub3,
+        ]);
+    }
+    Table::from_rows(9, &data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kdesel_math::Covariance;
+
+    #[test]
+    fn intensity_tracks_active_power() {
+        let t = generate(20_000, 1);
+        let mut c = Covariance::new(9);
+        for (_, r) in t.rows() {
+            c.add(r);
+        }
+        assert!(c.correlation(2, 5) > 0.95, "ρ = {}", c.correlation(2, 5));
+    }
+
+    #[test]
+    fn voltage_anticorrelates_with_load() {
+        let t = generate(20_000, 2);
+        let mut c = Covariance::new(9);
+        for (_, r) in t.rows() {
+            c.add(r);
+        }
+        assert!(c.correlation(2, 4) < -0.2, "ρ = {}", c.correlation(2, 4));
+    }
+
+    #[test]
+    fn active_power_right_skewed_and_positive() {
+        let t = generate(20_000, 3);
+        let mut v: Vec<f64> = t.rows().map(|(_, r)| r[2]).collect();
+        assert!(v.iter().all(|&x| x > 0.0));
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mean = v.iter().sum::<f64>() / v.len() as f64;
+        let median = v[v.len() / 2];
+        assert!(mean > median * 1.1, "mean {mean}, median {median}");
+    }
+
+    #[test]
+    fn sub_meterings_are_discrete_and_zero_inflated() {
+        let t = generate(20_000, 4);
+        let mut zeros = 0usize;
+        for (_, r) in t.rows() {
+            for s in &r[6..9] {
+                assert_eq!(s.fract(), 0.0, "sub-metering {s} not integral");
+            }
+            if r[6] == 0.0 {
+                zeros += 1;
+            }
+        }
+        assert!(
+            zeros as f64 > 0.8 * t.row_count() as f64,
+            "sub1 not zero-inflated: {zeros}"
+        );
+    }
+
+    #[test]
+    fn voltage_stays_near_nominal() {
+        let t = generate(10_000, 5);
+        for (_, r) in t.rows() {
+            assert!((210.0..260.0).contains(&r[4]), "voltage {}", r[4]);
+        }
+    }
+}

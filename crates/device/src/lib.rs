@@ -1,0 +1,31 @@
+//! Execution devices for the KDE kernels.
+//!
+//! The paper offloads every major estimator operation — estimation, model
+//! optimization, sample maintenance — to an OpenCL device (§5), keeping the
+//! sample resident on the GPU and transferring only query bounds, gradients
+//! and replacement points over PCI Express. Mature GPU-compute crates are
+//! not available to this port, so the device layer reproduces the paper's
+//! *execution model* instead of its silicon:
+//!
+//! * [`Backend::CpuSeq`] — sequential reference execution,
+//! * [`Backend::CpuPar`] — data-parallel execution on all cores (rayon),
+//!   the analogue of the paper's Intel OpenCL CPU backend,
+//! * [`Backend::SimGpu`] — executes the same kernels (in parallel on the
+//!   CPU, so all numeric results are identical) while charging an
+//!   analytical *cost model* for every kernel launch, PCIe transfer and
+//!   reduction pass. The model constants are calibrated to the paper's
+//!   GTX-460 / Xeon E5620 measurements (Figure 7), reproducing the
+//!   latency-bound flat region for small models, the throughput-bound
+//!   linear region for large ones, and the ~4× GPU/CPU asymptotic ratio.
+//!
+//! Every [`Device`] tracks both *modeled* time (from the cost model) and
+//! *measured* wall time, plus transfer-volume counters used to validate the
+//! paper's transfer-efficiency claims for sample maintenance (§4.2).
+
+pub mod cost;
+pub mod device;
+pub mod multi;
+
+pub use cost::{CostModel, CostProfile};
+pub use device::{Backend, Device, DeviceBuffer, DeviceStats};
+pub use multi::{DeviceGroup, PartitionedBuffer};

@@ -1,0 +1,215 @@
+//! Multi-device execution — the paper's final §8 outlook: "It would also
+//! be interesting to investigate how to accelerate KDE estimation across
+//! multiple graphics cards."
+//!
+//! KDE is a sum over sample points, so the natural multi-GPU plan is data
+//! parallel: partition the sample across devices, run the same kernel on
+//! each partition, reduce partial sums per device, and combine the per-
+//! device scalars on the host. [`DeviceGroup`] implements exactly that over
+//! any set of [`Device`]s. Modeled time is the *maximum* over the devices
+//! (they run concurrently) plus the host-side combine, so an `n`-way group
+//! approaches an `n`-fold speedup in the throughput-bound regime while the
+//! latency floor stays put — the same structural behaviour real multi-GPU
+//! setups show.
+
+use crate::device::{Device, DeviceBuffer};
+
+/// A group of devices executing one logical kernel data-parallel.
+#[derive(Debug)]
+pub struct DeviceGroup {
+    devices: Vec<Device>,
+}
+
+/// A sample partitioned across the group (one buffer per device).
+#[derive(Debug)]
+pub struct PartitionedBuffer {
+    parts: Vec<DeviceBuffer>,
+    dims: usize,
+}
+
+impl PartitionedBuffer {
+    /// Total rows across all partitions.
+    pub fn rows(&self) -> usize {
+        self.parts.iter().map(|p| p.len()).sum::<usize>() / self.dims
+    }
+}
+
+impl DeviceGroup {
+    /// Creates a group.
+    ///
+    /// # Panics
+    /// Panics on an empty device list.
+    pub fn new(devices: Vec<Device>) -> Self {
+        assert!(!devices.is_empty(), "empty device group");
+        Self { devices }
+    }
+
+    /// Number of devices.
+    pub fn len(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Whether the group is empty (never true post-construction).
+    pub fn is_empty(&self) -> bool {
+        self.devices.is_empty()
+    }
+
+    /// The member devices.
+    pub fn devices(&self) -> &[Device] {
+        &self.devices
+    }
+
+    /// Uploads a row-major sample, split into contiguous per-device chunks
+    /// of (nearly) equal row counts.
+    ///
+    /// # Panics
+    /// Panics on ragged data.
+    pub fn upload_partitioned(&self, sample: &[f64], dims: usize) -> PartitionedBuffer {
+        assert!(dims > 0);
+        assert_eq!(sample.len() % dims, 0, "ragged sample");
+        let rows = sample.len() / dims;
+        let n = self.devices.len();
+        let base = rows / n;
+        let extra = rows % n;
+        let mut parts = Vec::with_capacity(n);
+        let mut offset = 0;
+        for (i, device) in self.devices.iter().enumerate() {
+            let take = base + usize::from(i < extra);
+            let end = offset + take * dims;
+            parts.push(device.upload(&sample[offset..end]));
+            offset = end;
+        }
+        PartitionedBuffer { parts, dims }
+    }
+
+    /// Runs a per-row kernel on every partition concurrently and returns
+    /// the total sum of outputs (the distributed version of the estimate
+    /// pipeline: map on each device, reduce on each device, combine on the
+    /// host).
+    ///
+    /// The caller reads the modeled wall time via
+    /// [`modeled_seconds_parallel`](Self::modeled_seconds_parallel), which
+    /// accounts for the devices running side by side.
+    pub fn map_reduce_sum<F>(
+        &self,
+        buffer: &PartitionedBuffer,
+        flops_per_row: f64,
+        f: F,
+    ) -> f64
+    where
+        F: Fn(&[f64]) -> f64 + Sync,
+    {
+        assert_eq!(buffer.parts.len(), self.devices.len(), "foreign buffer");
+        let mut total = 0.0;
+        for (device, part) in self.devices.iter().zip(&buffer.parts) {
+            if part.is_empty() {
+                continue;
+            }
+            let mapped = device.map_rows(part, buffer.dims, flops_per_row, &f);
+            total += device.reduce_sum(&mapped);
+        }
+        total
+    }
+
+    /// Modeled wall time of the group under concurrent execution: the
+    /// slowest device's accumulated modeled time.
+    pub fn modeled_seconds_parallel(&self) -> f64 {
+        self.devices
+            .iter()
+            .map(|d| d.modeled_seconds())
+            .fold(0.0, f64::max)
+    }
+
+    /// Resets every member's timing.
+    pub fn reset_timing(&self) {
+        for d in &self.devices {
+            d.reset_timing();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::Backend;
+
+    fn group(n: usize) -> DeviceGroup {
+        DeviceGroup::new((0..n).map(|_| Device::new(Backend::SimGpu)).collect())
+    }
+
+    #[test]
+    fn partitioning_covers_all_rows() {
+        let g = group(3);
+        let sample: Vec<f64> = (0..20).map(|i| i as f64).collect(); // 10 rows × 2
+        let buf = g.upload_partitioned(&sample, 2);
+        assert_eq!(buf.rows(), 10);
+        // 10 rows over 3 devices: 4 + 3 + 3.
+        assert_eq!(buf.parts[0].len(), 8);
+        assert_eq!(buf.parts[1].len(), 6);
+        assert_eq!(buf.parts[2].len(), 6);
+    }
+
+    #[test]
+    fn distributed_sum_matches_single_device() {
+        let sample: Vec<f64> = (0..4000).map(|i| (i as f64).sin()).collect();
+        let single = group(1);
+        let quad = group(4);
+        let b1 = single.upload_partitioned(&sample, 2);
+        let b4 = quad.upload_partitioned(&sample, 2);
+        let f = |row: &[f64]| row[0] * row[0] + row[1];
+        let s1 = single.map_reduce_sum(&b1, 10.0, f);
+        let s4 = quad.map_reduce_sum(&b4, 10.0, f);
+        assert!((s1 - s4).abs() < 1e-9 * s1.abs().max(1.0), "{s1} vs {s4}");
+    }
+
+    #[test]
+    fn four_devices_approach_4x_speedup_when_compute_bound() {
+        let rows = 1 << 20;
+        let sample: Vec<f64> = vec![1.0; rows];
+        let single = group(1);
+        let quad = group(4);
+        let b1 = single.upload_partitioned(&sample, 1);
+        let b4 = quad.upload_partitioned(&sample, 1);
+        single.reset_timing();
+        quad.reset_timing();
+        let _ = single.map_reduce_sum(&b1, 480.0, |r| r[0]);
+        let _ = quad.map_reduce_sum(&b4, 480.0, |r| r[0]);
+        let speedup = single.modeled_seconds_parallel() / quad.modeled_seconds_parallel();
+        assert!((3.0..4.2).contains(&speedup), "speedup {speedup}");
+    }
+
+    #[test]
+    fn latency_floor_does_not_shrink_with_more_devices() {
+        // Tiny model: adding devices cannot beat the per-device latency.
+        let sample: Vec<f64> = vec![1.0; 64];
+        let single = group(1);
+        let quad = group(4);
+        let b1 = single.upload_partitioned(&sample, 1);
+        let b4 = quad.upload_partitioned(&sample, 1);
+        single.reset_timing();
+        quad.reset_timing();
+        let _ = single.map_reduce_sum(&b1, 480.0, |r| r[0]);
+        let _ = quad.map_reduce_sum(&b4, 480.0, |r| r[0]);
+        assert!(
+            quad.modeled_seconds_parallel() >= single.modeled_seconds_parallel() * 0.95,
+            "latency-bound work should not speed up: {} vs {}",
+            quad.modeled_seconds_parallel(),
+            single.modeled_seconds_parallel()
+        );
+    }
+
+    #[test]
+    fn more_devices_than_rows_is_fine() {
+        let g = group(4);
+        let buf = g.upload_partitioned(&[1.0, 2.0], 1); // 2 rows, 4 devices
+        assert_eq!(buf.rows(), 2);
+        let s = g.map_reduce_sum(&buf, 1.0, |r| r[0]);
+        assert_eq!(s, 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty device group")]
+    fn empty_group_rejected() {
+        DeviceGroup::new(Vec::new());
+    }
+}

@@ -1,0 +1,19 @@
+//! The paper's evaluation protocols (§6).
+//!
+//! Each submodule implements one experiment family and returns structured
+//! results; the `kdesel-bench` binaries drive them at paper scale and print
+//! the tables/series behind each figure:
+//!
+//! * [`static_quality`] — Figures 4 & 5 (+ the raw data for Table 1),
+//! * [`winrate`] — Table 1,
+//! * [`scaling`] — Figure 6,
+//! * [`perf`] — Figure 7,
+//! * [`dynamic`] — Figure 8,
+//! * [`ablation`] — §5.5's logarithmic-update claim and parameter sweeps.
+
+pub mod ablation;
+pub mod dynamic;
+pub mod perf;
+pub mod scaling;
+pub mod static_quality;
+pub mod winrate;

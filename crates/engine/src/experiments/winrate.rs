@@ -1,0 +1,164 @@
+//! Pairwise win-rate matrix (paper Table 1).
+//!
+//! "Cells list the percentage of experiments in which the row's estimator
+//! performed better than the one on top." One "experiment" is one
+//! (dataset, dims, workload, repetition) tuple; estimator A beats B when
+//! A's mean absolute error over the 300 test queries is strictly lower.
+
+use crate::estimators::EstimatorKind;
+use crate::experiments::static_quality::CellResult;
+
+/// Win-rate matrix over a set of estimators.
+#[derive(Debug)]
+pub struct WinRateMatrix {
+    estimators: Vec<EstimatorKind>,
+    /// `wins[i][j]` = number of experiments where `i` beat `j`.
+    wins: Vec<Vec<u32>>,
+    /// `comparisons[i][j]` = experiments where both were measured.
+    comparisons: Vec<Vec<u32>>,
+}
+
+impl WinRateMatrix {
+    /// Creates an empty matrix.
+    pub fn new(estimators: Vec<EstimatorKind>) -> Self {
+        let n = estimators.len();
+        Self {
+            estimators,
+            wins: vec![vec![0; n]; n],
+            comparisons: vec![vec![0; n]; n],
+        }
+    }
+
+    /// The estimator order.
+    pub fn estimators(&self) -> &[EstimatorKind] {
+        &self.estimators
+    }
+
+    /// Consumes one cell's per-repetition errors.
+    pub fn add_cell(&mut self, cell: &CellResult) {
+        let n = self.estimators.len();
+        let errors: Vec<Option<&[f64]>> = self
+            .estimators
+            .iter()
+            .map(|&k| cell.rep_errors(k))
+            .collect();
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let (Some(ei), Some(ej)) = (errors[i], errors[j]) else {
+                    continue;
+                };
+                for (a, b) in ei.iter().zip(ej) {
+                    self.comparisons[i][j] += 1;
+                    if a < b {
+                        self.wins[i][j] += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Win rate (%) of estimator `row` against `col`, `None` when no
+    /// comparisons were recorded or `row == col`.
+    pub fn rate(&self, row: EstimatorKind, col: EstimatorKind) -> Option<f64> {
+        let i = self.estimators.iter().position(|&k| k == row)?;
+        let j = self.estimators.iter().position(|&k| k == col)?;
+        if i == j || self.comparisons[i][j] == 0 {
+            return None;
+        }
+        Some(100.0 * self.wins[i][j] as f64 / self.comparisons[i][j] as f64)
+    }
+
+    /// Win rate of `row` against *all* other estimators pooled (the paper's
+    /// "All" column).
+    pub fn rate_against_all(&self, row: EstimatorKind) -> Option<f64> {
+        let i = self.estimators.iter().position(|&k| k == row)?;
+        let mut wins = 0u32;
+        let mut total = 0u32;
+        for j in 0..self.estimators.len() {
+            if i == j {
+                continue;
+            }
+            wins += self.wins[i][j];
+            total += self.comparisons[i][j];
+        }
+        if total == 0 {
+            None
+        } else {
+            Some(100.0 * wins as f64 / total as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::static_quality::StaticCell;
+    use kdesel_data::{Dataset, WorkloadKind};
+    use kdesel_types::Summary;
+
+    fn fake_cell(errors: &[(EstimatorKind, Vec<f64>)]) -> CellResult {
+        CellResult {
+            cell: StaticCell {
+                dataset: Dataset::Synthetic,
+                dims: 2,
+                workload: WorkloadKind::DataTarget,
+            },
+            summaries: errors
+                .iter()
+                .map(|(k, e)| (*k, Summary::from_values(e.iter().copied())))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn counts_wins_per_repetition() {
+        let mut m = WinRateMatrix::new(vec![EstimatorKind::Batch, EstimatorKind::Heuristic]);
+        // Batch wins reps 0 and 1, loses rep 2.
+        m.add_cell(&fake_cell(&[
+            (EstimatorKind::Batch, vec![0.1, 0.1, 0.5]),
+            (EstimatorKind::Heuristic, vec![0.2, 0.3, 0.1]),
+        ]));
+        let r = m.rate(EstimatorKind::Batch, EstimatorKind::Heuristic).unwrap();
+        assert!((r - 66.66667).abs() < 1e-3);
+        let inv = m.rate(EstimatorKind::Heuristic, EstimatorKind::Batch).unwrap();
+        assert!((inv - 33.33333).abs() < 1e-3);
+    }
+
+    #[test]
+    fn ties_count_as_losses_for_both() {
+        let mut m = WinRateMatrix::new(vec![EstimatorKind::Batch, EstimatorKind::Scv]);
+        m.add_cell(&fake_cell(&[
+            (EstimatorKind::Batch, vec![0.2]),
+            (EstimatorKind::Scv, vec![0.2]),
+        ]));
+        assert_eq!(m.rate(EstimatorKind::Batch, EstimatorKind::Scv), Some(0.0));
+        assert_eq!(m.rate(EstimatorKind::Scv, EstimatorKind::Batch), Some(0.0));
+    }
+
+    #[test]
+    fn missing_estimator_yields_none() {
+        let m = WinRateMatrix::new(vec![EstimatorKind::Batch, EstimatorKind::Scv]);
+        assert_eq!(m.rate(EstimatorKind::Batch, EstimatorKind::Scv), None);
+        assert_eq!(m.rate(EstimatorKind::Batch, EstimatorKind::Adaptive), None);
+        assert_eq!(m.rate(EstimatorKind::Batch, EstimatorKind::Batch), None);
+    }
+
+    #[test]
+    fn all_column_pools_opponents() {
+        let mut m = WinRateMatrix::new(vec![
+            EstimatorKind::Batch,
+            EstimatorKind::Heuristic,
+            EstimatorKind::Scv,
+        ]);
+        m.add_cell(&fake_cell(&[
+            (EstimatorKind::Batch, vec![0.1]),
+            (EstimatorKind::Heuristic, vec![0.2]),
+            (EstimatorKind::Scv, vec![0.05]),
+        ]));
+        // Batch beats heuristic, loses to scv → 50% pooled.
+        assert_eq!(m.rate_against_all(EstimatorKind::Batch), Some(50.0));
+    }
+}

@@ -1,0 +1,452 @@
+//! The device-resident KDE model.
+//!
+//! Mirrors the paper's implementation structure (Figure 3): the sample
+//! lives in a device buffer; an estimate transfers the query bounds to the
+//! device (1), computes per-point contributions in parallel (2), reduces
+//! them (3), and returns the scalar (4). The contribution buffer is
+//! *retained* until the next estimate so the Karma maintenance can reuse it
+//! (§5.4: "we do not discard the temporary buffer that stores the
+//! individual contributions until after the query returns").
+
+use crate::bandwidth::scott::scott_bandwidth;
+use crate::kernel::KernelFn;
+use crate::loss::LossFunction;
+use kdesel_device::{Device, DeviceBuffer};
+use kdesel_types::Rect;
+
+/// A kernel density model over a fixed-size data sample.
+#[derive(Debug)]
+pub struct KdeEstimator {
+    device: Device,
+    sample: DeviceBuffer,
+    /// Host mirror of the sample. The host produced the sample in the first
+    /// place (ANALYZE), so the mirror costs no transfers; the batch/CV
+    /// optimizers iterate over it without touching the device timing.
+    host_sample: Vec<f64>,
+    dims: usize,
+    size: usize,
+    kernel: KernelFn,
+    bandwidth: Vec<f64>,
+    /// Contributions of the most recent estimate, retained for maintenance.
+    last_contributions: Option<DeviceBuffer>,
+}
+
+impl KdeEstimator {
+    /// Builds a model from a row-major sample, initializing the bandwidth
+    /// with Scott's rule (the paper's §5.2 initialization).
+    ///
+    /// # Panics
+    /// Panics on an empty or ragged sample.
+    pub fn new(device: Device, sample: &[f64], dims: usize, kernel: KernelFn) -> Self {
+        assert!(dims > 0, "zero-dimensional model");
+        assert!(!sample.is_empty(), "empty sample");
+        assert_eq!(sample.len() % dims, 0, "ragged sample");
+        let buffer = device.upload(sample);
+        let bandwidth = scott_bandwidth(sample, dims);
+        Self {
+            device,
+            sample: buffer,
+            host_sample: sample.to_vec(),
+            dims,
+            size: sample.len() / dims,
+            kernel,
+            bandwidth,
+            last_contributions: None,
+        }
+    }
+
+    /// Dimensionality `d`.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Sample size `s` (the model size).
+    pub fn sample_size(&self) -> usize {
+        self.size
+    }
+
+    /// The kernel in use.
+    pub fn kernel(&self) -> KernelFn {
+        self.kernel
+    }
+
+    /// Current bandwidth vector (diagonal of `H`).
+    pub fn bandwidth(&self) -> &[f64] {
+        &self.bandwidth
+    }
+
+    /// Replaces the bandwidth.
+    ///
+    /// # Panics
+    /// Panics unless every component is positive and finite (the constraint
+    /// of optimization problem 5).
+    pub fn set_bandwidth(&mut self, bandwidth: Vec<f64>) {
+        assert_eq!(bandwidth.len(), self.dims);
+        assert!(
+            bandwidth.iter().all(|&h| h > 0.0 && h.is_finite()),
+            "bandwidth must be positive and finite: {bandwidth:?}"
+        );
+        self.bandwidth = bandwidth;
+    }
+
+    /// The device executing this model's kernels.
+    pub fn device(&self) -> &Device {
+        &self.device
+    }
+
+    /// Host view of the sample (row-major).
+    pub fn host_sample(&self) -> &[f64] {
+        &self.host_sample
+    }
+
+    /// One sample point.
+    pub fn sample_point(&self, index: usize) -> &[f64] {
+        &self.host_sample[index * self.dims..(index + 1) * self.dims]
+    }
+
+    /// Estimates the selectivity of `region` (paper eq. 2 with eq. 13).
+    ///
+    /// Retains the per-point contribution buffer for later maintenance use.
+    pub fn estimate(&mut self, region: &Rect) -> f64 {
+        assert_eq!(region.dims(), self.dims, "query dimensionality mismatch");
+        // (1) Transfer the query bounds.
+        let mut bounds = Vec::with_capacity(2 * self.dims);
+        bounds.extend_from_slice(region.lo());
+        bounds.extend_from_slice(region.hi());
+        let _bounds_buf = self.device.upload(&bounds);
+        // (2) Per-point contributions.
+        let kernel = self.kernel;
+        let bw = &self.bandwidth;
+        let lo = region.lo();
+        let hi = region.hi();
+        let flops = kernel.flops_per_factor() * self.dims as f64;
+        let contributions = self.device.map_rows(&self.sample, self.dims, flops, |row| {
+            kernel.contribution(row, lo, hi, bw)
+        });
+        // (3)+(4) Reduce and download.
+        let sum = self.device.reduce_sum(&contributions);
+        self.last_contributions = Some(contributions);
+        (sum / self.size as f64).clamp(0.0, 1.0)
+    }
+
+    /// The retained contribution buffer of the most recent estimate.
+    pub fn last_contributions(&self) -> Option<&DeviceBuffer> {
+        self.last_contributions.as_ref()
+    }
+
+    /// Gradient of the estimator with respect to the bandwidth,
+    /// `∂p̂_H(Ω)/∂h` (paper eqs. 15-17). Computed on the device, parallel
+    /// over sample points, reduced per dimension.
+    pub fn estimator_gradient(&self, region: &Rect) -> Vec<f64> {
+        assert_eq!(region.dims(), self.dims);
+        let kernel = self.kernel;
+        let bw = &self.bandwidth;
+        let lo = region.lo();
+        let hi = region.hi();
+        // Gradient needs all d factors plus d derivative terms per point.
+        let flops = kernel.flops_per_factor() * (self.dims * 2) as f64 + (self.dims * self.dims) as f64;
+        let partials = self
+            .device
+            .map_rows_multi(&self.sample, self.dims, self.dims, flops, |row, out| {
+                kernel.contribution_gradient(row, lo, hi, bw, out);
+            });
+        let mut grad = self.device.reduce_sum_columns(&partials, self.dims);
+        let inv_s = 1.0 / self.size as f64;
+        for g in &mut grad {
+            *g *= inv_s;
+        }
+        grad
+    }
+
+    /// Gradient of a loss at observed feedback, `∂L/∂h = ∂L/∂p̂ · ∂p̂/∂h`
+    /// (paper eq. 14). `estimate` is the value previously returned for
+    /// `region`; `actual` is the true selectivity from query feedback.
+    pub fn loss_gradient(
+        &self,
+        region: &Rect,
+        estimate: f64,
+        actual: f64,
+        loss: LossFunction,
+    ) -> Vec<f64> {
+        let scale = loss.dvalue_destimate(estimate, actual);
+        let mut grad = self.estimator_gradient(region);
+        for g in &mut grad {
+            *g *= scale;
+        }
+        grad
+    }
+
+    /// Replaces sample point `index` with `row` in a single device transfer
+    /// (§5.1). Invalidates the retained contribution buffer.
+    ///
+    /// # Panics
+    /// Panics on index/arity mismatch or NaN attributes.
+    pub fn replace_point(&mut self, index: usize, row: &[f64]) {
+        assert!(index < self.size, "sample index {index} out of range");
+        assert_eq!(row.len(), self.dims);
+        assert!(row.iter().all(|v| !v.is_nan()), "NaN attribute");
+        let offset = index * self.dims;
+        self.device.write_at(&mut self.sample, offset, row);
+        self.host_sample[offset..offset + self.dims].copy_from_slice(row);
+        self.last_contributions = None;
+    }
+
+    /// Model memory footprint: the sample buffer plus the bandwidth vector
+    /// (the quantities the paper's d·4 KiB budget constrains).
+    pub fn memory_bytes(&self) -> usize {
+        (self.host_sample.len() + self.bandwidth.len()) * std::mem::size_of::<f64>()
+    }
+
+    /// Reference host-side estimate over an arbitrary sample — the oracle
+    /// the device path is tested against, also used by the batch/CV
+    /// objectives where device timing must not be polluted.
+    pub fn estimate_host(
+        sample: &[f64],
+        dims: usize,
+        bandwidth: &[f64],
+        kernel: KernelFn,
+        region: &Rect,
+    ) -> f64 {
+        assert_eq!(sample.len() % dims, 0);
+        let s = sample.len() / dims;
+        if s == 0 {
+            return 0.0;
+        }
+        let sum: f64 = sample
+            .chunks_exact(dims)
+            .map(|row| kernel.contribution(row, region.lo(), region.hi(), bandwidth))
+            .sum();
+        (sum / s as f64).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kdesel_device::Backend;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn uniform_sample(n: usize, dims: usize, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n * dims).map(|_| rng.gen_range(0.0..1.0)).collect()
+    }
+
+    fn make(backend: Backend, n: usize, dims: usize) -> KdeEstimator {
+        let sample = uniform_sample(n, dims, 42);
+        KdeEstimator::new(Device::new(backend), &sample, dims, KernelFn::Gaussian)
+    }
+
+    #[test]
+    fn estimate_of_everything_is_one() {
+        let mut e = make(Backend::CpuSeq, 256, 3);
+        let est = e.estimate(&Rect::cube(3, -100.0, 101.0));
+        assert!((est - 1.0).abs() < 1e-9, "estimate {est}");
+    }
+
+    #[test]
+    fn estimate_of_far_away_region_is_zero() {
+        let mut e = make(Backend::CpuSeq, 256, 3);
+        let est = e.estimate(&Rect::cube(3, 500.0, 501.0));
+        assert!(est < 1e-12, "estimate {est}");
+    }
+
+    #[test]
+    fn estimate_tracks_uniform_selectivity() {
+        // Uniform sample on [0,1]²: a query of volume v should estimate ≈ v.
+        let mut e = make(Backend::CpuPar, 4096, 2);
+        let q = Rect::from_intervals(&[(0.2, 0.7), (0.1, 0.5)]);
+        let est = e.estimate(&q);
+        assert!((est - 0.2).abs() < 0.05, "estimate {est} for volume 0.2");
+    }
+
+    #[test]
+    fn backends_agree_bitwise() {
+        let sample = uniform_sample(1000, 4, 7);
+        let q = Rect::from_intervals(&[(0.1, 0.6), (0.3, 0.9), (0.0, 0.4), (0.5, 1.0)]);
+        let mut results = Vec::new();
+        for b in [Backend::CpuSeq, Backend::CpuPar, Backend::SimGpu] {
+            let mut e =
+                KdeEstimator::new(Device::new(b), &sample, 4, KernelFn::Gaussian);
+            results.push((e.estimate(&q), e.estimator_gradient(&q)));
+        }
+        assert_eq!(results[0], results[1]);
+        assert_eq!(results[1], results[2]);
+    }
+
+    #[test]
+    fn device_path_matches_host_reference() {
+        let sample = uniform_sample(512, 3, 9);
+        let mut e = KdeEstimator::new(
+            Device::new(Backend::SimGpu),
+            &sample,
+            3,
+            KernelFn::Gaussian,
+        );
+        let q = Rect::from_intervals(&[(0.2, 0.8), (0.0, 0.5), (0.4, 0.9)]);
+        let dev = e.estimate(&q);
+        let host =
+            KdeEstimator::estimate_host(&sample, 3, e.bandwidth(), KernelFn::Gaussian, &q);
+        assert!((dev - host).abs() < 1e-12, "{dev} vs {host}");
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let sample = uniform_sample(200, 2, 3);
+        let e = KdeEstimator::new(
+            Device::new(Backend::CpuSeq),
+            &sample,
+            2,
+            KernelFn::Gaussian,
+        );
+        let q = Rect::from_intervals(&[(0.3, 0.6), (0.2, 0.9)]);
+        let grad = e.estimator_gradient(&q);
+        let bw = e.bandwidth().to_vec();
+        for i in 0..2 {
+            let eps = 1e-7;
+            let mut bp = bw.clone();
+            bp[i] += eps;
+            let mut bm = bw.clone();
+            bm[i] -= eps;
+            let fp = KdeEstimator::estimate_host(&sample, 2, &bp, KernelFn::Gaussian, &q);
+            let fm = KdeEstimator::estimate_host(&sample, 2, &bm, KernelFn::Gaussian, &q);
+            let fd = (fp - fm) / (2.0 * eps);
+            assert!(
+                (fd - grad[i]).abs() < 1e-6,
+                "dim {i}: fd {fd} vs {}",
+                grad[i]
+            );
+        }
+    }
+
+    #[test]
+    fn loss_gradient_is_scaled_estimator_gradient() {
+        let mut e = make(Backend::CpuSeq, 128, 2);
+        let q = Rect::from_intervals(&[(0.1, 0.4), (0.2, 0.8)]);
+        let est = e.estimate(&q);
+        let actual = 0.05;
+        let lg = e.loss_gradient(&q, est, actual, LossFunction::Quadratic);
+        let eg = e.estimator_gradient(&q);
+        let scale = 2.0 * (est - actual);
+        for (l, g) in lg.iter().zip(&eg) {
+            assert!((l - scale * g).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn contributions_are_retained_and_sized() {
+        let mut e = make(Backend::CpuSeq, 64, 2);
+        assert!(e.last_contributions().is_none());
+        e.estimate(&Rect::cube(2, 0.0, 1.0));
+        let c = e.last_contributions().expect("retained");
+        assert_eq!(c.len(), 64);
+    }
+
+    #[test]
+    fn replace_point_changes_estimates_and_invalidates_contributions() {
+        let sample = vec![0.0, 0.0, 0.1, 0.1, 0.2, 0.2, 0.15, 0.05];
+        let mut e = KdeEstimator::new(
+            Device::new(Backend::CpuSeq),
+            &sample,
+            2,
+            KernelFn::Gaussian,
+        );
+        e.set_bandwidth(vec![0.01, 0.01]);
+        let near_origin = Rect::cube(2, -0.5, 0.5);
+        let est_before = e.estimate(&near_origin);
+        assert!((est_before - 1.0).abs() < 1e-6);
+        // Move every point far away.
+        for i in 0..4 {
+            e.replace_point(i, &[100.0, 100.0]);
+        }
+        assert!(e.last_contributions().is_none());
+        let est_after = e.estimate(&near_origin);
+        assert!(est_after < 1e-9, "estimate {est_after}");
+        assert_eq!(e.sample_point(2), &[100.0, 100.0]);
+    }
+
+    #[test]
+    fn estimate_uses_few_transfers() {
+        // Paper §2.4 footnote: "the only required transfers are the query
+        // bounds and the computed estimate".
+        let mut e = make(Backend::SimGpu, 1024, 4);
+        let stats0 = e.device().stats();
+        e.estimate(&Rect::cube(4, 0.0, 0.5));
+        let stats1 = e.device().stats();
+        assert_eq!(stats1.uploads - stats0.uploads, 1, "one bounds upload");
+        assert_eq!(stats1.downloads - stats0.downloads, 1, "one result download");
+        // Uploaded bytes: 2·d·8 = 64.
+        assert_eq!(stats1.bytes_up - stats0.bytes_up, 64);
+    }
+
+    #[test]
+    fn epanechnikov_estimates_are_sane() {
+        let sample = uniform_sample(2048, 2, 5);
+        let mut e = KdeEstimator::new(
+            Device::new(Backend::CpuPar),
+            &sample,
+            2,
+            KernelFn::Epanechnikov,
+        );
+        let q = Rect::from_intervals(&[(0.25, 0.75), (0.25, 0.75)]);
+        let est = e.estimate(&q);
+        assert!((est - 0.25).abs() < 0.05, "estimate {est}");
+    }
+
+    #[test]
+    fn memory_accounting() {
+        let e = make(Backend::CpuSeq, 100, 3);
+        assert_eq!(e.memory_bytes(), (300 + 3) * 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn empty_sample_rejected() {
+        KdeEstimator::new(Device::new(Backend::CpuSeq), &[], 2, KernelFn::Gaussian);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn nonpositive_bandwidth_rejected() {
+        let mut e = make(Backend::CpuSeq, 16, 2);
+        e.set_bandwidth(vec![1.0, 0.0]);
+    }
+
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(32))]
+            #[test]
+            fn estimates_are_selectivities(
+                seed in 0u64..1000,
+                a in -0.5f64..1.0,
+                w in 0.0f64..1.5
+            ) {
+                let sample = uniform_sample(128, 2, seed);
+                let mut e = KdeEstimator::new(
+                    Device::new(Backend::CpuSeq), &sample, 2, KernelFn::Gaussian);
+                let q = Rect::from_intervals(&[(a, a + w), (a, a + w)]);
+                let est = e.estimate(&q);
+                prop_assert!((0.0..=1.0).contains(&est));
+            }
+
+            #[test]
+            fn monotone_under_region_growth(
+                seed in 0u64..1000,
+                a in -0.5f64..0.5,
+                w in 0.1f64..1.0,
+                extra in 0.0f64..1.0
+            ) {
+                let sample = uniform_sample(128, 2, seed);
+                let mut e = KdeEstimator::new(
+                    Device::new(Backend::CpuSeq), &sample, 2, KernelFn::Gaussian);
+                let small = e.estimate(&Rect::from_intervals(&[(a, a + w), (a, a + w)]));
+                let large = e.estimate(&Rect::from_intervals(
+                    &[(a - extra, a + w + extra), (a - extra, a + w + extra)]));
+                prop_assert!(large >= small - 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! Differentiable loss functions (paper Appendix C.1).
+//!
+//! The gradient of the bandwidth objective factorizes (eq. 14) into
+//! `∂L/∂p̂ · ∂p̂/∂h_i`; this module supplies the first factor for each of
+//! the paper's five metrics. The smoothing constant `λ` prevents division
+//! by zero for empty query regions (footnote 6).
+
+use kdesel_types::QERROR_SMOOTHING;
+
+/// A loss `L(p̂, p)` with closed-form `∂L/∂p̂`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LossFunction {
+    /// Quadratic (L2): `(p̂ − p)²` — the default optimization target; its
+    /// gradient is smooth everywhere, which keeps both L-BFGS and RMSprop
+    /// well-behaved.
+    #[default]
+    Quadratic,
+    /// Absolute (L1): `|p̂ − p|` — the paper's *reporting* metric.
+    Absolute,
+    /// Relative: `|p̂ − p| / (λ + p)`.
+    Relative,
+    /// Squared relative: `((p̂ − p) / (λ + p))²`.
+    SquaredRelative,
+    /// Squared Q-error: `(log(λ+p̂) − log(λ+p))²` [Moerkotte et al. 2009].
+    SquaredQ,
+}
+
+impl LossFunction {
+    /// All loss functions.
+    pub const ALL: [LossFunction; 5] = [
+        LossFunction::Quadratic,
+        LossFunction::Absolute,
+        LossFunction::Relative,
+        LossFunction::SquaredRelative,
+        LossFunction::SquaredQ,
+    ];
+
+    /// Stable identifier.
+    pub fn name(self) -> &'static str {
+        match self {
+            LossFunction::Quadratic => "quadratic",
+            LossFunction::Absolute => "absolute",
+            LossFunction::Relative => "relative",
+            LossFunction::SquaredRelative => "squared_relative",
+            LossFunction::SquaredQ => "squared_q",
+        }
+    }
+
+    /// Loss value `L(estimate, actual)`.
+    pub fn value(self, estimate: f64, actual: f64) -> f64 {
+        let l = QERROR_SMOOTHING;
+        match self {
+            LossFunction::Quadratic => {
+                let d = estimate - actual;
+                d * d
+            }
+            LossFunction::Absolute => (estimate - actual).abs(),
+            LossFunction::Relative => (estimate - actual).abs() / (l + actual),
+            LossFunction::SquaredRelative => {
+                let r = (estimate - actual) / (l + actual);
+                r * r
+            }
+            LossFunction::SquaredQ => {
+                let q = (l + estimate).ln() - (l + actual).ln();
+                q * q
+            }
+        }
+    }
+
+    /// Partial derivative `∂L/∂p̂` (Appendix C.1's table).
+    pub fn dvalue_destimate(self, estimate: f64, actual: f64) -> f64 {
+        let l = QERROR_SMOOTHING;
+        match self {
+            LossFunction::Quadratic => 2.0 * (estimate - actual),
+            LossFunction::Absolute => (estimate - actual).signum_or_zero(),
+            LossFunction::Relative => (estimate - actual).signum_or_zero() / (l + actual),
+            LossFunction::SquaredRelative => {
+                2.0 * (estimate - actual) / ((l + actual) * (l + actual))
+            }
+            LossFunction::SquaredQ => {
+                2.0 * ((l + estimate).ln() - (l + actual).ln()) / (l + estimate)
+            }
+        }
+    }
+}
+
+/// `signum` that returns 0 at 0 (the subgradient choice in Appendix C.1).
+trait SignumOrZero {
+    fn signum_or_zero(self) -> f64;
+}
+
+impl SignumOrZero for f64 {
+    fn signum_or_zero(self) -> f64 {
+        if self > 0.0 {
+            1.0
+        } else if self < 0.0 {
+            -1.0
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn values_match_error_metrics() {
+        // LossFunction mirrors kdesel_types::ErrorMetric; they must agree.
+        use kdesel_types::ErrorMetric;
+        let pairs = [
+            (LossFunction::Quadratic, ErrorMetric::Squared),
+            (LossFunction::Absolute, ErrorMetric::Absolute),
+            (LossFunction::Relative, ErrorMetric::Relative),
+            (LossFunction::SquaredRelative, ErrorMetric::SquaredRelative),
+            (LossFunction::SquaredQ, ErrorMetric::SquaredQ),
+        ];
+        for (loss, metric) in pairs {
+            for (e, a) in [(0.1, 0.3), (0.5, 0.5), (0.9, 0.01), (0.0, 0.0)] {
+                assert_eq!(loss.value(e, a), metric.eval(e, a), "{}", loss.name());
+            }
+        }
+    }
+
+    #[test]
+    fn derivatives_match_finite_differences() {
+        for loss in LossFunction::ALL {
+            for (e, a) in [(0.1, 0.3), (0.42, 0.05), (0.9, 0.6)] {
+                let eps = 1e-8;
+                let fd = (loss.value(e + eps, a) - loss.value(e - eps, a)) / (2.0 * eps);
+                let an = loss.dvalue_destimate(e, a);
+                assert!(
+                    (fd - an).abs() < 1e-5 * an.abs().max(1.0),
+                    "{} at ({e},{a}): fd {fd} vs {an}",
+                    loss.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn derivative_sign_reflects_over_or_under_estimation() {
+        for loss in LossFunction::ALL {
+            assert!(loss.dvalue_destimate(0.8, 0.2) > 0.0, "{}", loss.name());
+            assert!(loss.dvalue_destimate(0.1, 0.5) < 0.0, "{}", loss.name());
+        }
+    }
+
+    #[test]
+    fn perfect_estimate_has_zero_loss() {
+        for loss in LossFunction::ALL {
+            assert_eq!(loss.value(0.37, 0.37), 0.0, "{}", loss.name());
+        }
+    }
+
+    #[test]
+    fn absolute_loss_subgradient_at_zero() {
+        assert_eq!(LossFunction::Absolute.dvalue_destimate(0.5, 0.5), 0.0);
+    }
+
+    #[test]
+    fn relative_losses_finite_for_empty_queries() {
+        for loss in LossFunction::ALL {
+            assert!(loss.value(0.1, 0.0).is_finite(), "{}", loss.name());
+            assert!(loss.dvalue_destimate(0.1, 0.0).is_finite(), "{}", loss.name());
+            // SquaredQ at (0,0) uses the smoothing constant on both sides.
+            assert!(loss.value(0.0, 0.0).is_finite());
+        }
+    }
+}

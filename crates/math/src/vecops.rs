@@ -1,0 +1,162 @@
+//! Small dense-vector kernels used by the optimization stack.
+//!
+//! The bandwidth vectors the solver manipulates are tiny (`d ≤ ~50`), so
+//! these are straightforward scalar loops; what matters is a single shared,
+//! well-tested definition rather than raw throughput.
+
+/// Dot product `xᵀy`.
+///
+/// # Panics
+/// Panics on length mismatch (debug builds assert; release relies on zip).
+#[inline]
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    debug_assert_eq!(x.len(), y.len());
+    x.iter().zip(y).map(|(&a, &b)| a * b).sum()
+}
+
+/// Euclidean norm `‖x‖₂`.
+#[inline]
+pub fn norm2(x: &[f64]) -> f64 {
+    dot(x, x).sqrt()
+}
+
+/// Infinity norm `max |xᵢ|` (0 for the empty vector).
+#[inline]
+pub fn norm_inf(x: &[f64]) -> f64 {
+    x.iter().fold(0.0, |m, &v| m.max(v.abs()))
+}
+
+/// `y ← y + a·x`.
+#[inline]
+pub fn axpy(a: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, &xi) in y.iter_mut().zip(x) {
+        *yi += a * xi;
+    }
+}
+
+/// `x ← a·x`.
+#[inline]
+pub fn scale(a: f64, x: &mut [f64]) {
+    for xi in x {
+        *xi *= a;
+    }
+}
+
+/// Returns `x − y` as a new vector.
+#[inline]
+pub fn sub(x: &[f64], y: &[f64]) -> Vec<f64> {
+    debug_assert_eq!(x.len(), y.len());
+    x.iter().zip(y).map(|(&a, &b)| a - b).collect()
+}
+
+/// Returns `x + y` as a new vector.
+#[inline]
+pub fn add(x: &[f64], y: &[f64]) -> Vec<f64> {
+    debug_assert_eq!(x.len(), y.len());
+    x.iter().zip(y).map(|(&a, &b)| a + b).collect()
+}
+
+/// Clamps each component of `x` into `[lo_i, hi_i]` (box projection).
+#[inline]
+pub fn project_box(x: &mut [f64], lo: &[f64], hi: &[f64]) {
+    debug_assert_eq!(x.len(), lo.len());
+    debug_assert_eq!(x.len(), hi.len());
+    for ((xi, &l), &h) in x.iter_mut().zip(lo).zip(hi) {
+        *xi = xi.clamp(l, h);
+    }
+}
+
+/// Squared Euclidean distance `‖x − y‖²`.
+#[inline]
+pub fn dist_sq(x: &[f64], y: &[f64]) -> f64 {
+    debug_assert_eq!(x.len(), y.len());
+    x.iter()
+        .zip(y)
+        .map(|(&a, &b)| {
+            let d = a - b;
+            d * d
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_norms() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        assert_eq!(norm2(&[3.0, 4.0]), 5.0);
+        assert_eq!(norm_inf(&[-7.0, 2.0, 5.0]), 7.0);
+        assert_eq!(norm_inf(&[]), 0.0);
+    }
+
+    #[test]
+    fn axpy_updates_in_place() {
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[3.0, -1.0], &mut y);
+        assert_eq!(y, vec![7.0, -1.0]);
+    }
+
+    #[test]
+    fn scale_add_sub() {
+        let mut x = vec![1.0, -2.0];
+        scale(-3.0, &mut x);
+        assert_eq!(x, vec![-3.0, 6.0]);
+        assert_eq!(add(&[1.0, 2.0], &[3.0, 4.0]), vec![4.0, 6.0]);
+        assert_eq!(sub(&[1.0, 2.0], &[3.0, 4.0]), vec![-2.0, -2.0]);
+    }
+
+    #[test]
+    fn box_projection_clamps() {
+        let mut x = vec![-5.0, 0.5, 9.0];
+        project_box(&mut x, &[0.0, 0.0, 0.0], &[1.0, 1.0, 1.0]);
+        assert_eq!(x, vec![0.0, 0.5, 1.0]);
+    }
+
+    #[test]
+    fn distance() {
+        assert_eq!(dist_sq(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+    }
+
+    mod prop {
+        use super::super::*;
+        use proptest::prelude::*;
+
+        fn vecpair() -> impl Strategy<Value = (Vec<f64>, Vec<f64>)> {
+            (1usize..20).prop_flat_map(|n| {
+                (
+                    proptest::collection::vec(-1e3f64..1e3, n),
+                    proptest::collection::vec(-1e3f64..1e3, n),
+                )
+            })
+        }
+
+        proptest! {
+            #[test]
+            fn cauchy_schwarz((x, y) in vecpair()) {
+                prop_assert!(dot(&x, &y).abs() <= norm2(&x) * norm2(&y) + 1e-6);
+            }
+
+            #[test]
+            fn projection_is_idempotent(x in proptest::collection::vec(-10.0f64..10.0, 1..10)) {
+                let lo = vec![-1.0; x.len()];
+                let hi = vec![1.0; x.len()];
+                let mut once = x.clone();
+                project_box(&mut once, &lo, &hi);
+                let mut twice = once.clone();
+                project_box(&mut twice, &lo, &hi);
+                prop_assert_eq!(once, twice);
+            }
+
+            #[test]
+            fn sub_then_add_roundtrips((x, y) in vecpair()) {
+                let z = add(&sub(&x, &y), &y);
+                for (a, b) in z.iter().zip(&x) {
+                    prop_assert!((a - b).abs() < 1e-9);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! Projected gradient descent with backtracking.
+//!
+//! A deliberately simple first-order method: the test suite uses it as an
+//! independent cross-check for L-BFGS results, and the KDE batch optimizer
+//! falls back to it when the quasi-Newton line search stalls on a noisy
+//! objective.
+
+use crate::linesearch::backtracking_projected;
+use crate::problem::{Bounds, Objective, OptOutcome, OptResult};
+
+/// Gradient-descent configuration.
+#[derive(Debug, Clone)]
+pub struct GradientDescentConfig {
+    /// Iteration budget.
+    pub max_iterations: usize,
+    /// Convergence threshold on the gradient infinity norm.
+    pub gradient_tolerance: f64,
+    /// Convergence threshold on relative objective decrease.
+    pub value_tolerance: f64,
+    /// Initial trial step for the first iteration.
+    pub initial_step: f64,
+}
+
+impl Default for GradientDescentConfig {
+    fn default() -> Self {
+        Self {
+            max_iterations: 1000,
+            gradient_tolerance: 1e-8,
+            value_tolerance: 1e-14,
+            initial_step: 1.0,
+        }
+    }
+}
+
+/// Minimizes `obj` over `bounds` from `x0` by steepest descent.
+pub fn gradient_descent<O: Objective>(
+    obj: &O,
+    bounds: &Bounds,
+    x0: &[f64],
+    config: &GradientDescentConfig,
+) -> OptResult {
+    let n = obj.dims();
+    assert_eq!(x0.len(), n);
+    let mut x = x0.to_vec();
+    bounds.project(&mut x);
+    let mut grad = vec![0.0; n];
+    let mut f = obj.eval(&x, &mut grad);
+    let mut evaluations = 1;
+    let mut alpha = config.initial_step;
+
+    for iter in 0..config.max_iterations {
+        if kdesel_math::vecops::norm_inf(&grad) <= config.gradient_tolerance {
+            return OptResult {
+                x,
+                f,
+                iterations: iter,
+                evaluations,
+                outcome: OptOutcome::GradientConverged,
+            };
+        }
+        let dir: Vec<f64> = grad.iter().map(|&g| -g).collect();
+        let Some(step) = backtracking_projected(obj, bounds, &x, f, &grad, &dir, alpha) else {
+            return OptResult {
+                x,
+                f,
+                iterations: iter,
+                evaluations,
+                outcome: OptOutcome::LineSearchFailed,
+            };
+        };
+        evaluations += step.evals;
+        // Barzilai–Borwein-flavoured warm start for the next trial step.
+        alpha = (step.alpha * 2.0).clamp(1e-12, 1e6);
+
+        let f_prev = f;
+        x = step.x;
+        f = step.f;
+        grad = step.grad;
+
+        if (f_prev - f).abs() / f_prev.abs().max(1.0) <= config.value_tolerance {
+            return OptResult {
+                x,
+                f,
+                iterations: iter + 1,
+                evaluations,
+                outcome: OptOutcome::ValueConverged,
+            };
+        }
+    }
+    OptResult {
+        x,
+        f,
+        iterations: config.max_iterations,
+        evaluations,
+        outcome: OptOutcome::MaxIterations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testfns;
+
+    #[test]
+    fn minimizes_sphere() {
+        let res = gradient_descent(
+            &testfns::sphere(4),
+            &Bounds::unbounded(4),
+            &[1.0, -2.0, 3.0, -4.0],
+            &GradientDescentConfig::default(),
+        );
+        assert!(res.f < 1e-10, "f = {}", res.f);
+    }
+
+    #[test]
+    fn stays_inside_box() {
+        let obj = crate::problem::FnObjective::new(1, |x: &[f64], g: &mut [f64]| {
+            g[0] = 2.0 * (x[0] - 5.0);
+            (x[0] - 5.0).powi(2)
+        });
+        let bounds = Bounds::uniform(1, 0.0, 2.0);
+        let res = gradient_descent(&obj, &bounds, &[1.0], &GradientDescentConfig::default());
+        assert!((res.x[0] - 2.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn agrees_with_lbfgs_on_booth() {
+        let gd = gradient_descent(
+            &testfns::booth(),
+            &Bounds::unbounded(2),
+            &[0.0, 0.0],
+            &GradientDescentConfig {
+                max_iterations: 5000,
+                ..Default::default()
+            },
+        );
+        let lb = crate::lbfgs::lbfgs(
+            &testfns::booth(),
+            &Bounds::unbounded(2),
+            &[0.0, 0.0],
+            &crate::lbfgs::LbfgsConfig::default(),
+        );
+        assert!((gd.x[0] - lb.x[0]).abs() < 1e-3, "{:?} vs {:?}", gd.x, lb.x);
+        assert!((gd.x[1] - lb.x[1]).abs() < 1e-3);
+    }
+
+    #[test]
+    fn rosenbrock_makes_progress_slowly() {
+        // GD is expected to be slow in the valley but must monotonically
+        // decrease the objective.
+        let obj = testfns::rosenbrock(2);
+        let res = gradient_descent(
+            &obj,
+            &Bounds::unbounded(2),
+            &[-1.2, 1.0],
+            &GradientDescentConfig {
+                max_iterations: 200,
+                value_tolerance: 0.0,
+                ..Default::default()
+            },
+        );
+        let mut g = vec![0.0; 2];
+        let f0 = obj.eval(&[-1.2, 1.0], &mut g);
+        assert!(res.f < f0 * 0.05, "f = {} (start {})", res.f, f0);
+    }
+}

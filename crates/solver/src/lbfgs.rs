@@ -1,0 +1,335 @@
+//! Projected-gradient L-BFGS for box-constrained minimization.
+//!
+//! Plays the role of L-BFGS-B [Byrd et al. 1995] in the paper's pipeline
+//! (§3.4: "a local optimization algorithm (e.g. L-BFGS-B) to refine the
+//! bandwidth"). The implementation is the standard two-loop recursion with
+//! a gradient-projection treatment of the box: trial points are projected
+//! into the box, curvature pairs are only stored when they satisfy a
+//! positive-definiteness guard, and the memory is dropped whenever the
+//! active set changes (the curvature collected on a different face is
+//! stale).
+
+use crate::linesearch::{backtracking_projected, strong_wolfe};
+use crate::problem::{Bounds, Objective, OptOutcome, OptResult};
+use std::collections::VecDeque;
+
+/// L-BFGS configuration.
+#[derive(Debug, Clone)]
+pub struct LbfgsConfig {
+    /// History size `m` (number of curvature pairs).
+    pub memory: usize,
+    /// Iteration budget.
+    pub max_iterations: usize,
+    /// Convergence threshold on the projected-gradient infinity norm.
+    pub gradient_tolerance: f64,
+    /// Convergence threshold on relative objective decrease.
+    pub value_tolerance: f64,
+}
+
+impl Default for LbfgsConfig {
+    fn default() -> Self {
+        Self {
+            memory: 8,
+            max_iterations: 200,
+            gradient_tolerance: 1e-8,
+            value_tolerance: 1e-12,
+        }
+    }
+}
+
+/// Component mask of bound constraints active at `x` against gradient `g`
+/// (at a bound and the negative gradient points outside).
+fn active_set(x: &[f64], g: &[f64], bounds: &Bounds) -> Vec<bool> {
+    x.iter()
+        .zip(g)
+        .zip(bounds.lo().iter().zip(bounds.hi()))
+        .map(|((&xi, &gi), (&l, &h))| (xi <= l && gi > 0.0) || (xi >= h && gi < 0.0))
+        .collect()
+}
+
+/// Projected gradient: zero where a bound blocks descent.
+fn projected_gradient(g: &[f64], active: &[bool]) -> Vec<f64> {
+    g.iter()
+        .zip(active)
+        .map(|(&gi, &a)| if a { 0.0 } else { gi })
+        .collect()
+}
+
+/// Minimizes `obj` over the box `bounds`, starting from `x0`.
+///
+/// # Panics
+/// Panics if `x0.len()` disagrees with the objective or bounds
+/// dimensionality, or if `x0` contains NaN.
+pub fn lbfgs<O: Objective>(
+    obj: &O,
+    bounds: &Bounds,
+    x0: &[f64],
+    config: &LbfgsConfig,
+) -> OptResult {
+    let n = obj.dims();
+    assert_eq!(x0.len(), n);
+    assert_eq!(bounds.dims(), n);
+    assert!(x0.iter().all(|v| !v.is_nan()), "NaN in starting point");
+
+    let mut x = x0.to_vec();
+    bounds.project(&mut x);
+    let mut grad = vec![0.0; n];
+    let mut f = obj.eval(&x, &mut grad);
+    let mut evaluations = 1;
+
+    // Curvature history (s, y, 1/yᵀs).
+    let mut history: VecDeque<(Vec<f64>, Vec<f64>, f64)> = VecDeque::new();
+    let mut prev_active = active_set(&x, &grad, bounds);
+
+    let unconstrained = bounds
+        .lo()
+        .iter()
+        .zip(bounds.hi())
+        .all(|(&l, &h)| l == f64::NEG_INFINITY && h == f64::INFINITY);
+
+    for iter in 0..config.max_iterations {
+        let active = active_set(&x, &grad, bounds);
+        let pg = projected_gradient(&grad, &active);
+        if kdesel_math::vecops::norm_inf(&pg) <= config.gradient_tolerance {
+            return OptResult {
+                x,
+                f,
+                iterations: iter,
+                evaluations,
+                outcome: OptOutcome::GradientConverged,
+            };
+        }
+        if active != prev_active {
+            history.clear();
+        }
+
+        // Two-loop recursion on the projected gradient.
+        let mut q = pg.clone();
+        let mut alphas = Vec::with_capacity(history.len());
+        for (s, y, rho) in history.iter().rev() {
+            let a = rho * kdesel_math::vecops::dot(s, &q);
+            kdesel_math::vecops::axpy(-a, y, &mut q);
+            alphas.push(a);
+        }
+        // Initial Hessian scaling γ = sᵀy / yᵀy from the newest pair.
+        if let Some((s, y, _)) = history.back() {
+            let sy = kdesel_math::vecops::dot(s, y);
+            let yy = kdesel_math::vecops::dot(y, y);
+            if yy > 0.0 {
+                kdesel_math::vecops::scale(sy / yy, &mut q);
+            }
+        }
+        for ((s, y, rho), a) in history.iter().zip(alphas.iter().rev()) {
+            let b = rho * kdesel_math::vecops::dot(y, &q);
+            kdesel_math::vecops::axpy(a - b, s, &mut q);
+        }
+        let mut dir: Vec<f64> = q.iter().map(|&v| -v).collect();
+        // Keep active components pinned.
+        for (di, &a) in dir.iter_mut().zip(&active) {
+            if a {
+                *di = 0.0;
+            }
+        }
+        // Safeguard: fall back to steepest descent on a non-descent direction.
+        if kdesel_math::vecops::dot(&dir, &pg) >= 0.0 {
+            dir = pg.iter().map(|&v| -v).collect();
+            history.clear();
+        }
+
+        let alpha_init = if history.is_empty() {
+            // First step: unit displacement along the gradient scale.
+            (1.0 / kdesel_math::vecops::norm2(&dir).max(1e-12)).min(1.0)
+        } else {
+            1.0
+        };
+
+        let ls = if unconstrained {
+            strong_wolfe(obj, &x, f, &grad, &dir, alpha_init)
+        } else {
+            backtracking_projected(obj, bounds, &x, f, &grad, &dir, alpha_init)
+        };
+        let Some(step) = ls else {
+            return OptResult {
+                x,
+                f,
+                iterations: iter,
+                evaluations,
+                outcome: OptOutcome::LineSearchFailed,
+            };
+        };
+        evaluations += step.evals;
+
+        let s = kdesel_math::vecops::sub(&step.x, &x);
+        let y = kdesel_math::vecops::sub(&step.grad, &grad);
+        let sy = kdesel_math::vecops::dot(&s, &y);
+        // Curvature guard: only store pairs that keep the implicit Hessian
+        // positive definite.
+        if sy > 1e-10 * kdesel_math::vecops::norm2(&s) * kdesel_math::vecops::norm2(&y) {
+            if history.len() == config.memory {
+                history.pop_front();
+            }
+            history.push_back((s, y, 1.0 / sy));
+        }
+
+        let f_prev = f;
+        x = step.x;
+        f = step.f;
+        grad = step.grad;
+        prev_active = active;
+
+        let rel_decrease = (f_prev - f).abs() / f_prev.abs().max(1.0);
+        if rel_decrease <= config.value_tolerance {
+            return OptResult {
+                x,
+                f,
+                iterations: iter + 1,
+                evaluations,
+                outcome: OptOutcome::ValueConverged,
+            };
+        }
+    }
+
+    OptResult {
+        x,
+        f,
+        iterations: config.max_iterations,
+        evaluations,
+        outcome: OptOutcome::MaxIterations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testfns;
+
+    #[test]
+    fn minimizes_sphere() {
+        let obj = testfns::sphere(5);
+        let res = lbfgs(
+            &obj,
+            &Bounds::unbounded(5),
+            &[3.0, -2.0, 1.0, 4.0, -5.0],
+            &LbfgsConfig::default(),
+        );
+        assert!(res.converged(), "{:?}", res.outcome);
+        assert!(res.f < 1e-12, "f = {}", res.f);
+        for v in &res.x {
+            assert!(v.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn minimizes_rosenbrock_2d() {
+        let obj = testfns::rosenbrock(2);
+        let res = lbfgs(
+            &obj,
+            &Bounds::unbounded(2),
+            &[-1.2, 1.0],
+            &LbfgsConfig {
+                max_iterations: 500,
+                ..Default::default()
+            },
+        );
+        assert!(res.f < 1e-8, "f = {} after {} iters", res.f, res.iterations);
+        assert!((res.x[0] - 1.0).abs() < 1e-3);
+        assert!((res.x[1] - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn minimizes_rosenbrock_10d() {
+        let obj = testfns::rosenbrock(10);
+        let res = lbfgs(
+            &obj,
+            &Bounds::unbounded(10),
+            &vec![0.5; 10],
+            &LbfgsConfig {
+                max_iterations: 1000,
+                ..Default::default()
+            },
+        );
+        assert!(res.f < 1e-6, "f = {}", res.f);
+    }
+
+    #[test]
+    fn respects_box_constraints() {
+        // Sphere shifted so the unconstrained minimum (2, 2) is outside the
+        // box [−1,1]²; the constrained solution is (1, 1).
+        let obj = crate::problem::FnObjective::new(2, |x: &[f64], g: &mut [f64]| {
+            g[0] = 2.0 * (x[0] - 2.0);
+            g[1] = 2.0 * (x[1] - 2.0);
+            (x[0] - 2.0).powi(2) + (x[1] - 2.0).powi(2)
+        });
+        let bounds = Bounds::uniform(2, -1.0, 1.0);
+        let res = lbfgs(&obj, &bounds, &[0.0, 0.0], &LbfgsConfig::default());
+        assert!(bounds.contains(&res.x));
+        assert!((res.x[0] - 1.0).abs() < 1e-6, "{:?}", res.x);
+        assert!((res.x[1] - 1.0).abs() < 1e-6, "{:?}", res.x);
+        assert!((res.f - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mixed_active_constraints() {
+        // Minimum at (2, 0.5): x0 hits its bound, x1 interior.
+        let obj = crate::problem::FnObjective::new(2, |x: &[f64], g: &mut [f64]| {
+            g[0] = 2.0 * (x[0] - 2.0);
+            g[1] = 2.0 * (x[1] - 0.5);
+            (x[0] - 2.0).powi(2) + (x[1] - 0.5).powi(2)
+        });
+        let bounds = Bounds::uniform(2, -1.0, 1.0);
+        let res = lbfgs(&obj, &bounds, &[-0.5, -0.5], &LbfgsConfig::default());
+        assert!((res.x[0] - 1.0).abs() < 1e-6);
+        assert!((res.x[1] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn starting_point_outside_box_is_projected() {
+        let obj = testfns::sphere(2);
+        let bounds = Bounds::uniform(2, -1.0, 1.0);
+        let res = lbfgs(&obj, &bounds, &[100.0, -100.0], &LbfgsConfig::default());
+        assert!(res.f < 1e-10);
+    }
+
+    #[test]
+    fn converges_immediately_at_minimum() {
+        let obj = testfns::sphere(3);
+        let res = lbfgs(
+            &obj,
+            &Bounds::unbounded(3),
+            &[0.0; 3],
+            &LbfgsConfig::default(),
+        );
+        assert_eq!(res.iterations, 0);
+        assert_eq!(res.outcome, OptOutcome::GradientConverged);
+    }
+
+    #[test]
+    fn iteration_budget_is_respected() {
+        let obj = testfns::rosenbrock(2);
+        let res = lbfgs(
+            &obj,
+            &Bounds::unbounded(2),
+            &[-1.2, 1.0],
+            &LbfgsConfig {
+                max_iterations: 3,
+                gradient_tolerance: 0.0,
+                value_tolerance: 0.0,
+                ..Default::default()
+            },
+        );
+        assert_eq!(res.iterations, 3);
+        assert_eq!(res.outcome, OptOutcome::MaxIterations);
+    }
+
+    #[test]
+    fn booth_function() {
+        let res = lbfgs(
+            &testfns::booth(),
+            &Bounds::unbounded(2),
+            &[0.0, 0.0],
+            &LbfgsConfig::default(),
+        );
+        assert!((res.x[0] - 1.0).abs() < 1e-5);
+        assert!((res.x[1] - 3.0).abs() < 1e-5);
+    }
+}

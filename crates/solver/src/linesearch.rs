@@ -1,0 +1,261 @@
+//! Line searches.
+//!
+//! Two strategies are provided: a projected backtracking (Armijo) search —
+//! the workhorse for box-constrained L-BFGS, where every trial point is
+//! projected back into the box before evaluation — and a strong-Wolfe
+//! bracketing search (Nocedal & Wright, Alg. 3.5/3.6) used on unconstrained
+//! steps where curvature information keeps the L-BFGS memory well-scaled.
+
+use crate::problem::{Bounds, Objective};
+
+/// Result of a line search.
+#[derive(Debug, Clone)]
+pub struct LineSearchResult {
+    /// Accepted step length.
+    pub alpha: f64,
+    /// Accepted point (projected, for the projected search).
+    pub x: Vec<f64>,
+    /// Objective value at `x`.
+    pub f: f64,
+    /// Gradient at `x`.
+    pub grad: Vec<f64>,
+    /// Number of objective evaluations used.
+    pub evals: usize,
+}
+
+/// Armijo sufficient-decrease constant.
+const C1: f64 = 1e-4;
+/// Strong-Wolfe curvature constant.
+const C2: f64 = 0.9;
+
+/// Projected backtracking line search.
+///
+/// Walks `x(α) = P(x₀ + α·d)` for geometrically decreasing `α`, accepting
+/// the first point satisfying the Armijo condition measured against the
+/// actual (projected) displacement. Returns `None` when no step produces
+/// sufficient decrease before `α` underflows.
+pub fn backtracking_projected<O: Objective>(
+    obj: &O,
+    bounds: &Bounds,
+    x0: &[f64],
+    f0: f64,
+    grad0: &[f64],
+    dir: &[f64],
+    alpha_init: f64,
+) -> Option<LineSearchResult> {
+    let mut alpha = alpha_init;
+    let mut evals = 0;
+    let n = x0.len();
+    let mut grad = vec![0.0; n];
+    for _ in 0..60 {
+        let mut x: Vec<f64> = x0.iter().zip(dir).map(|(&xi, &di)| xi + alpha * di).collect();
+        bounds.project(&mut x);
+        // Actual displacement after projection.
+        let disp: Vec<f64> = x.iter().zip(x0).map(|(&a, &b)| a - b).collect();
+        let disp_norm = kdesel_math::vecops::norm2(&disp);
+        if disp_norm < 1e-16 {
+            alpha *= 0.5;
+            continue;
+        }
+        let f = obj.eval(&x, &mut grad);
+        evals += 1;
+        // Armijo against the projected displacement's directional derivative.
+        let dd = kdesel_math::vecops::dot(grad0, &disp);
+        if f <= f0 + C1 * dd.min(0.0) && f < f0 {
+            return Some(LineSearchResult {
+                alpha,
+                x,
+                f,
+                grad,
+                evals,
+            });
+        }
+        alpha *= 0.5;
+        if alpha < 1e-20 {
+            break;
+        }
+    }
+    None
+}
+
+/// Strong-Wolfe line search (bracket + zoom).
+///
+/// Assumes `dir` is a descent direction (`grad0ᵀdir < 0`); returns `None`
+/// otherwise or when bracketing fails.
+pub fn strong_wolfe<O: Objective>(
+    obj: &O,
+    x0: &[f64],
+    f0: f64,
+    grad0: &[f64],
+    dir: &[f64],
+    alpha_init: f64,
+) -> Option<LineSearchResult> {
+    let d0 = kdesel_math::vecops::dot(grad0, dir);
+    if d0 >= 0.0 {
+        return None;
+    }
+    let n = x0.len();
+    let mut evals = 0;
+    let phi = |alpha: f64, grad: &mut [f64]| -> (f64, f64) {
+        let x: Vec<f64> = x0.iter().zip(dir).map(|(&xi, &di)| xi + alpha * di).collect();
+        let f = obj.eval(&x, grad);
+        let d = kdesel_math::vecops::dot(grad, dir);
+        (f, d)
+    };
+
+    let mut grad = vec![0.0; n];
+    let mut alpha_prev = 0.0;
+    let mut f_prev = f0;
+    let mut alpha = alpha_init.max(1e-16);
+    const ALPHA_MAX: f64 = 1e6;
+
+    // Bracketing phase.
+    let mut bracket: Option<(f64, f64, f64)> = None; // (lo, f_lo, hi)
+    for i in 0..30 {
+        let (f, d) = phi(alpha, &mut grad);
+        evals += 1;
+        if f > f0 + C1 * alpha * d0 || (i > 0 && f >= f_prev) {
+            bracket = Some((alpha_prev, f_prev, alpha));
+            break;
+        }
+        if d.abs() <= -C2 * d0 {
+            let x: Vec<f64> = x0.iter().zip(dir).map(|(&xi, &di)| xi + alpha * di).collect();
+            return Some(LineSearchResult {
+                alpha,
+                x,
+                f,
+                grad,
+                evals,
+            });
+        }
+        if d >= 0.0 {
+            bracket = Some((alpha, f, alpha_prev));
+            break;
+        }
+        alpha_prev = alpha;
+        f_prev = f;
+        alpha = (2.0 * alpha).min(ALPHA_MAX);
+        if alpha >= ALPHA_MAX {
+            return None;
+        }
+    }
+    let (mut lo, mut f_lo, mut hi) = bracket?;
+
+    // Zoom phase: bisection (robust; quadratic interpolation gains little on
+    // the noisy bandwidth objectives this is used for).
+    for _ in 0..40 {
+        let mid = 0.5 * (lo + hi);
+        let (f, d) = phi(mid, &mut grad);
+        evals += 1;
+        if f > f0 + C1 * mid * d0 || f >= f_lo {
+            hi = mid;
+        } else {
+            if d.abs() <= -C2 * d0 {
+                let x: Vec<f64> = x0.iter().zip(dir).map(|(&xi, &di)| xi + mid * di).collect();
+                return Some(LineSearchResult {
+                    alpha: mid,
+                    x,
+                    f,
+                    grad,
+                    evals,
+                });
+            }
+            if d * (hi - lo) >= 0.0 {
+                hi = lo;
+            }
+            lo = mid;
+            f_lo = f;
+        }
+        if (hi - lo).abs() < 1e-14 {
+            break;
+        }
+    }
+    // Fall back to the best bracketed point with plain Armijo acceptance.
+    let (f, _) = phi(lo, &mut grad);
+    evals += 1;
+    if lo > 0.0 && f < f0 {
+        let x: Vec<f64> = x0.iter().zip(dir).map(|(&xi, &di)| xi + lo * di).collect();
+        return Some(LineSearchResult {
+            alpha: lo,
+            x,
+            f,
+            grad,
+            evals,
+        });
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::FnObjective;
+
+    fn quadratic() -> FnObjective<impl Fn(&[f64], &mut [f64]) -> f64> {
+        FnObjective::new(2, |x: &[f64], g: &mut [f64]| {
+            g[0] = 2.0 * (x[0] - 1.0);
+            g[1] = 2.0 * (x[1] + 2.0);
+            (x[0] - 1.0).powi(2) + (x[1] + 2.0).powi(2)
+        })
+    }
+
+    #[test]
+    fn wolfe_on_quadratic_finds_good_step() {
+        let obj = quadratic();
+        let x0 = [0.0, 0.0];
+        let mut g0 = vec![0.0; 2];
+        let f0 = obj.eval(&x0, &mut g0);
+        let dir: Vec<f64> = g0.iter().map(|&g| -g).collect();
+        let res = strong_wolfe(&obj, &x0, f0, &g0, &dir, 1.0).expect("wolfe step");
+        assert!(res.f < f0);
+        // Exact minimizer along -g from origin for this quadratic is α=0.5.
+        assert!((res.alpha - 0.5).abs() < 0.2, "alpha={}", res.alpha);
+    }
+
+    #[test]
+    fn wolfe_rejects_ascent_direction() {
+        let obj = quadratic();
+        let x0 = [0.0, 0.0];
+        let mut g0 = vec![0.0; 2];
+        let f0 = obj.eval(&x0, &mut g0);
+        assert!(strong_wolfe(&obj, &x0, f0, &g0, &g0.clone(), 1.0).is_none());
+    }
+
+    #[test]
+    fn projected_backtracking_respects_bounds() {
+        let obj = quadratic();
+        // Minimum is at (1,-2) but box forbids x1 < 0.
+        let bounds = Bounds::new(vec![-10.0, 0.0], vec![10.0, 10.0]);
+        let x0 = [0.0, 5.0];
+        let mut g0 = vec![0.0; 2];
+        let f0 = obj.eval(&x0, &mut g0);
+        let dir: Vec<f64> = g0.iter().map(|&g| -g).collect();
+        let res =
+            backtracking_projected(&obj, &bounds, &x0, f0, &g0, &dir, 1.0).expect("step");
+        assert!(res.f < f0);
+        assert!(bounds.contains(&res.x));
+    }
+
+    #[test]
+    fn projected_backtracking_none_at_constrained_minimum() {
+        let obj = quadratic();
+        let bounds = Bounds::new(vec![-10.0, 0.0], vec![10.0, 10.0]);
+        // (1, 0) is the box-constrained minimum; any projected step fails.
+        let x0 = [1.0, 0.0];
+        let mut g0 = vec![0.0; 2];
+        let f0 = obj.eval(&x0, &mut g0);
+        let dir: Vec<f64> = g0.iter().map(|&g| -g).collect();
+        assert!(backtracking_projected(&obj, &bounds, &x0, f0, &g0, &dir, 1.0).is_none());
+    }
+
+    #[test]
+    fn wolfe_handles_rosenbrock_valley() {
+        let obj = crate::testfns::rosenbrock(2);
+        let x0 = [-1.2, 1.0];
+        let mut g0 = vec![0.0; 2];
+        let f0 = obj.eval(&x0, &mut g0);
+        let dir: Vec<f64> = g0.iter().map(|&g| -g).collect();
+        let res = strong_wolfe(&obj, &x0, f0, &g0, &dir, 1e-3).expect("step");
+        assert!(res.f < f0);
+    }
+}

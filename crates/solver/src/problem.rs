@@ -1,0 +1,236 @@
+//! Problem interface shared by all solvers.
+
+use rand::Rng;
+
+/// A differentiable objective `f : ℝ^d → ℝ` with analytic gradient.
+///
+/// The bandwidth-selection objective (paper eq. 5 with the gradient of
+/// eq. 17) implements this trait; solvers are generic over it.
+pub trait Objective {
+    /// Problem dimensionality.
+    fn dims(&self) -> usize;
+
+    /// Evaluates `f(x)` and writes `∇f(x)` into `grad`.
+    ///
+    /// `grad.len()` equals [`dims`](Self::dims).
+    fn eval(&self, x: &[f64], grad: &mut [f64]) -> f64;
+
+    /// Evaluates `f(x)` only. Default: evaluates gradient too and discards it;
+    /// implementors with a cheaper value-only path should override.
+    fn value(&self, x: &[f64]) -> f64 {
+        let mut g = vec![0.0; self.dims()];
+        self.eval(x, &mut g)
+    }
+}
+
+/// Adapter turning a closure `(x, grad) -> f64` into an [`Objective`].
+pub struct FnObjective<F> {
+    dims: usize,
+    f: F,
+}
+
+impl<F: Fn(&[f64], &mut [f64]) -> f64> FnObjective<F> {
+    /// Wraps a closure.
+    pub fn new(dims: usize, f: F) -> Self {
+        Self { dims, f }
+    }
+}
+
+impl<F: Fn(&[f64], &mut [f64]) -> f64> Objective for FnObjective<F> {
+    fn dims(&self) -> usize {
+        self.dims
+    }
+    fn eval(&self, x: &[f64], grad: &mut [f64]) -> f64 {
+        (self.f)(x, grad)
+    }
+}
+
+/// Box constraints `lo_i ≤ x_i ≤ hi_i`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Bounds {
+    lo: Vec<f64>,
+    hi: Vec<f64>,
+}
+
+impl Bounds {
+    /// Creates bounds.
+    ///
+    /// # Panics
+    /// Panics on length mismatch, empty bounds, NaN, or `lo_i > hi_i`.
+    pub fn new(lo: Vec<f64>, hi: Vec<f64>) -> Self {
+        assert_eq!(lo.len(), hi.len());
+        assert!(!lo.is_empty());
+        for (i, (&l, &h)) in lo.iter().zip(&hi).enumerate() {
+            assert!(!l.is_nan() && !h.is_nan(), "NaN bound in dim {i}");
+            assert!(l <= h, "inverted bound in dim {i}");
+        }
+        Self { lo, hi }
+    }
+
+    /// The same `[lo, hi]` interval in every dimension.
+    pub fn uniform(dims: usize, lo: f64, hi: f64) -> Self {
+        Self::new(vec![lo; dims], vec![hi; dims])
+    }
+
+    /// Unbounded in every dimension.
+    pub fn unbounded(dims: usize) -> Self {
+        Self::new(vec![f64::NEG_INFINITY; dims], vec![f64::INFINITY; dims])
+    }
+
+    /// Dimensionality.
+    pub fn dims(&self) -> usize {
+        self.lo.len()
+    }
+
+    /// Lower bounds.
+    pub fn lo(&self) -> &[f64] {
+        &self.lo
+    }
+
+    /// Upper bounds.
+    pub fn hi(&self) -> &[f64] {
+        &self.hi
+    }
+
+    /// Projects `x` onto the box in place.
+    pub fn project(&self, x: &mut [f64]) {
+        kdesel_math::vecops::project_box(x, &self.lo, &self.hi);
+    }
+
+    /// Whether `x` satisfies the constraints.
+    pub fn contains(&self, x: &[f64]) -> bool {
+        x.iter()
+            .zip(self.lo.iter().zip(&self.hi))
+            .all(|(&v, (&l, &h))| l <= v && v <= h)
+    }
+
+    /// Uniform sample inside the box. Infinite bounds are clamped to ±1e3
+    /// for sampling purposes (the global phase only needs diverse starts).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<f64> {
+        self.lo
+            .iter()
+            .zip(&self.hi)
+            .map(|(&l, &h)| {
+                let l = l.max(-1e3);
+                let h = h.min(1e3);
+                if l == h {
+                    l
+                } else {
+                    rng.gen_range(l..h)
+                }
+            })
+            .collect()
+    }
+
+    /// Diagonal length of the (sampling-clamped) box.
+    pub fn diameter(&self) -> f64 {
+        self.lo
+            .iter()
+            .zip(&self.hi)
+            .map(|(&l, &h)| {
+                let d = h.min(1e3) - l.max(-1e3);
+                d * d
+            })
+            .sum::<f64>()
+            .sqrt()
+    }
+}
+
+/// Why a solver stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OptOutcome {
+    /// Gradient (projected) infinity norm fell below tolerance.
+    GradientConverged,
+    /// Relative objective change fell below tolerance.
+    ValueConverged,
+    /// Iteration budget exhausted.
+    MaxIterations,
+    /// Line search could not make progress (often: already at a minimum to
+    /// numerical precision, or the gradient is inconsistent with f).
+    LineSearchFailed,
+}
+
+/// Solver output.
+#[derive(Debug, Clone)]
+pub struct OptResult {
+    /// Best point found.
+    pub x: Vec<f64>,
+    /// Objective value at `x`.
+    pub f: f64,
+    /// Iterations performed.
+    pub iterations: usize,
+    /// Objective/gradient evaluations performed.
+    pub evaluations: usize,
+    /// Termination reason.
+    pub outcome: OptOutcome,
+}
+
+impl OptResult {
+    /// Whether the solver stopped because a convergence criterion was met.
+    pub fn converged(&self) -> bool {
+        matches!(
+            self.outcome,
+            OptOutcome::GradientConverged | OptOutcome::ValueConverged
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fn_objective_wraps_closure() {
+        let obj = FnObjective::new(2, |x: &[f64], g: &mut [f64]| {
+            g[0] = 2.0 * x[0];
+            g[1] = 2.0 * x[1];
+            x[0] * x[0] + x[1] * x[1]
+        });
+        let mut g = vec![0.0; 2];
+        assert_eq!(obj.eval(&[3.0, 4.0], &mut g), 25.0);
+        assert_eq!(g, vec![6.0, 8.0]);
+        assert_eq!(obj.value(&[1.0, 0.0]), 1.0);
+        assert_eq!(obj.dims(), 2);
+    }
+
+    #[test]
+    fn bounds_project_and_contain() {
+        let b = Bounds::uniform(3, -1.0, 1.0);
+        let mut x = vec![-2.0, 0.0, 5.0];
+        b.project(&mut x);
+        assert_eq!(x, vec![-1.0, 0.0, 1.0]);
+        assert!(b.contains(&x));
+        assert!(!b.contains(&[0.0, 0.0, 1.1]));
+    }
+
+    #[test]
+    fn bounds_sampling_stays_inside() {
+        let b = Bounds::new(vec![0.0, -5.0], vec![1.0, -4.0]);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            let x = b.sample(&mut rng);
+            assert!(b.contains(&x), "{x:?}");
+        }
+    }
+
+    #[test]
+    fn degenerate_bound_samples_exactly() {
+        let b = Bounds::new(vec![2.0], vec![2.0]);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(b.sample(&mut rng), vec![2.0]);
+    }
+
+    #[test]
+    fn diameter_of_unit_square() {
+        let b = Bounds::uniform(2, 0.0, 1.0);
+        assert!((b.diameter() - 2f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted bound")]
+    fn inverted_bounds_rejected() {
+        Bounds::new(vec![1.0], vec![0.0]);
+    }
+}

@@ -1,0 +1,136 @@
+//! Standard optimization test functions.
+//!
+//! Used by the solver test suite and benchmarks; exposed publicly so
+//! integration tests and Criterion benches can share them.
+
+use crate::problem::FnObjective;
+
+/// Sphere function `Σ xᵢ²`; global minimum 0 at the origin. Convex.
+pub fn sphere(dims: usize) -> FnObjective<impl Fn(&[f64], &mut [f64]) -> f64> {
+    FnObjective::new(dims, |x: &[f64], g: &mut [f64]| {
+        for (gi, &xi) in g.iter_mut().zip(x) {
+            *gi = 2.0 * xi;
+        }
+        x.iter().map(|&v| v * v).sum()
+    })
+}
+
+/// Rosenbrock function; global minimum 0 at `(1, …, 1)`. Narrow curved
+/// valley — the classic stress test for quasi-Newton methods.
+pub fn rosenbrock(dims: usize) -> FnObjective<impl Fn(&[f64], &mut [f64]) -> f64> {
+    assert!(dims >= 2);
+    FnObjective::new(dims, |x: &[f64], g: &mut [f64]| {
+        let n = x.len();
+        let mut f = 0.0;
+        for gi in g.iter_mut() {
+            *gi = 0.0;
+        }
+        for i in 0..n - 1 {
+            let a = x[i + 1] - x[i] * x[i];
+            let b = 1.0 - x[i];
+            f += 100.0 * a * a + b * b;
+            g[i] += -400.0 * x[i] * a - 2.0 * b;
+            g[i + 1] += 200.0 * a;
+        }
+        f
+    })
+}
+
+/// Rastrigin function; global minimum 0 at the origin with a dense lattice
+/// of local minima — the stress test for the global (multistart) phase.
+pub fn rastrigin(dims: usize) -> FnObjective<impl Fn(&[f64], &mut [f64]) -> f64> {
+    use std::f64::consts::PI;
+    FnObjective::new(dims, move |x: &[f64], g: &mut [f64]| {
+        let mut f = 10.0 * x.len() as f64;
+        for (gi, &xi) in g.iter_mut().zip(x) {
+            f += xi * xi - 10.0 * (2.0 * PI * xi).cos();
+            *gi = 2.0 * xi + 20.0 * PI * (2.0 * PI * xi).sin();
+        }
+        f
+    })
+}
+
+/// Booth function (2D); global minimum 0 at `(1, 3)`.
+pub fn booth() -> FnObjective<impl Fn(&[f64], &mut [f64]) -> f64> {
+    FnObjective::new(2, |x: &[f64], g: &mut [f64]| {
+        let a = x[0] + 2.0 * x[1] - 7.0;
+        let b = 2.0 * x[0] + x[1] - 5.0;
+        g[0] = 2.0 * a + 4.0 * b;
+        g[1] = 4.0 * a + 2.0 * b;
+        a * a + b * b
+    })
+}
+
+/// A two-minimum "double well" in 1D extended over `dims` by summation:
+/// `Σ (xᵢ² − 1)² + 0.2·xᵢ`. The asymmetry makes `x ≈ −1` the global and
+/// `x ≈ +1` a local minimum in every coordinate — mirrors the paper's
+/// observation that the bandwidth objective typically has "only one or two"
+/// minima (§3.3).
+pub fn double_well(dims: usize) -> FnObjective<impl Fn(&[f64], &mut [f64]) -> f64> {
+    FnObjective::new(dims, |x: &[f64], g: &mut [f64]| {
+        let mut f = 0.0;
+        for (gi, &xi) in g.iter_mut().zip(x) {
+            let w = xi * xi - 1.0;
+            f += w * w + 0.2 * xi;
+            *gi = 4.0 * xi * w + 0.2;
+        }
+        f
+    })
+}
+
+/// Verifies an objective's analytic gradient against central finite
+/// differences at `x`; returns the maximum absolute component error.
+pub fn gradient_check<O: crate::problem::Objective>(obj: &O, x: &[f64], h: f64) -> f64 {
+    let mut analytic = vec![0.0; obj.dims()];
+    obj.eval(x, &mut analytic);
+    let mut worst = 0.0f64;
+    let mut xp = x.to_vec();
+    for i in 0..x.len() {
+        xp[i] = x[i] + h;
+        let fp = obj.value(&xp);
+        xp[i] = x[i] - h;
+        let fm = obj.value(&xp);
+        xp[i] = x[i];
+        let fd = (fp - fm) / (2.0 * h);
+        worst = worst.max((fd - analytic[i]).abs());
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::Objective;
+
+    #[test]
+    fn known_minima() {
+        let mut g = vec![0.0; 2];
+        assert_eq!(sphere(2).eval(&[0.0, 0.0], &mut g), 0.0);
+        assert_eq!(rosenbrock(2).eval(&[1.0, 1.0], &mut g), 0.0);
+        assert_eq!(g, vec![0.0, 0.0]);
+        assert_eq!(booth().eval(&[1.0, 3.0], &mut g), 0.0);
+        let mut g3 = vec![0.0; 3];
+        assert!(rastrigin(3).eval(&[0.0; 3], &mut g3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let points: [&[f64]; 3] = [&[0.3, -0.7], &[1.5, 2.5], &[-1.2, 1.0]];
+        for x in points {
+            assert!(gradient_check(&sphere(2), x, 1e-6) < 1e-6);
+            assert!(gradient_check(&rosenbrock(2), x, 1e-6) < 1e-3);
+            assert!(gradient_check(&booth(), x, 1e-6) < 1e-5);
+            assert!(gradient_check(&rastrigin(2), x, 1e-7) < 1e-4);
+            assert!(gradient_check(&double_well(2), x, 1e-6) < 1e-6);
+        }
+    }
+
+    #[test]
+    fn double_well_global_vs_local() {
+        let obj = double_well(1);
+        // Global minimum near −1 should be lower than the local one near +1.
+        let near_global = obj.value(&[-1.02]);
+        let near_local = obj.value(&[0.97]);
+        assert!(near_global < near_local);
+    }
+}

@@ -1,0 +1,75 @@
+//! Table change events.
+//!
+//! Postgres notifies the paper's sample-maintenance routine about inserted
+//! tuples (§5.6: "Whenever a new tuple is inserted into relation R, the
+//! sample maintenance routine gets notified by the database engine").
+//! [`TableEvent`] is the equivalent notification record; the engine drains
+//! the table's event log after each statement and forwards it to the
+//! estimator's maintenance hooks.
+
+use crate::table::RowId;
+
+/// One change to a [`Table`](crate::Table).
+#[derive(Debug, Clone, PartialEq)]
+pub enum TableEvent {
+    /// A row was inserted.
+    Inserted {
+        /// Slot that received the row.
+        row: RowId,
+        /// Attribute values of the new row.
+        values: Vec<f64>,
+    },
+    /// A row was deleted.
+    Deleted {
+        /// Slot the row occupied.
+        row: RowId,
+        /// Attribute values of the deleted row.
+        values: Vec<f64>,
+    },
+    /// A row was overwritten in place.
+    Updated {
+        /// Slot of the row.
+        row: RowId,
+        /// Values before the update.
+        old: Vec<f64>,
+        /// Values after the update.
+        new: Vec<f64>,
+    },
+}
+
+impl TableEvent {
+    /// The slot the event concerns.
+    pub fn row(&self) -> RowId {
+        match self {
+            TableEvent::Inserted { row, .. }
+            | TableEvent::Deleted { row, .. }
+            | TableEvent::Updated { row, .. } => *row,
+        }
+    }
+
+    /// Whether this event adds a live tuple (insert).
+    pub fn is_insert(&self) -> bool {
+        matches!(self, TableEvent::Inserted { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let e = TableEvent::Inserted {
+            row: 7,
+            values: vec![1.0],
+        };
+        assert_eq!(e.row(), 7);
+        assert!(e.is_insert());
+        let d = TableEvent::Deleted {
+            row: 3,
+            values: vec![2.0],
+        };
+        assert_eq!(d.row(), 3);
+        assert!(!d.is_insert());
+    }
+}

@@ -1,0 +1,22 @@
+//! Miniature in-memory relational substrate.
+//!
+//! The paper integrates its estimator into Postgres 9.3.1, using the host
+//! database for exactly three things: collecting random samples (`ANALYZE`,
+//! §5.2), observing the update stream (reservoir sampling & Karma
+//! maintenance, §4.2/§5.6), and producing true selectivities as query
+//! feedback (§4.1). This crate provides those three interfaces over an
+//! in-memory table of real-valued attributes:
+//!
+//! * [`Table`] — row-major storage with insert/delete/update, full-scan
+//!   range counting, and tombstone-based row identity,
+//! * [`TableEvent`] — a drainable change log the maintenance layer consumes
+//!   (standing in for Postgres' trigger notifications),
+//! * [`sampling`] — uniform random sampling of live rows (standing in for
+//!   Postgres' `ANALYZE` row sampling).
+
+pub mod events;
+pub mod sampling;
+pub mod table;
+
+pub use events::TableEvent;
+pub use table::{RowId, Table};

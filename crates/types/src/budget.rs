@@ -1,0 +1,109 @@
+//! Memory-budget accounting for the evaluation's fairness constraint.
+//!
+//! §6.2 of the paper: *"in order to make the comparisons fair, we restricted
+//! all estimators to use the same amount of memory. In particular, we allowed
+//! d·4 kB, where d is the dimensionality of the dataset."* The paper's GPU
+//! implementation stores samples in configurable floating-point precision;
+//! this port defaults to `f64` but supports `f32` accounting so the original
+//! point counts can be matched exactly.
+
+use serde::{Deserialize, Serialize};
+
+/// Floating-point precision a model stores its state in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Precision {
+    /// 4-byte floats (the paper's evaluation configuration).
+    F32,
+    /// 8-byte floats (this port's computational default).
+    F64,
+}
+
+impl Precision {
+    /// Bytes per scalar.
+    pub const fn bytes(self) -> usize {
+        match self {
+            Precision::F32 => 4,
+            Precision::F64 => 8,
+        }
+    }
+}
+
+/// A per-estimator memory budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemoryBudget {
+    bytes: usize,
+}
+
+impl MemoryBudget {
+    /// An explicit byte budget.
+    pub const fn from_bytes(bytes: usize) -> Self {
+        Self { bytes }
+    }
+
+    /// The paper's evaluation budget: `d · 4 KiB`.
+    pub const fn paper_default(dims: usize) -> Self {
+        Self {
+            bytes: dims * 4 * 1024,
+        }
+    }
+
+    /// Total bytes available.
+    pub const fn bytes(self) -> usize {
+        self.bytes
+    }
+
+    /// How many `d`-dimensional sample points fit, at the given precision.
+    ///
+    /// This is the KDE model size `s`: the model is "primarily a data sample"
+    /// (§2.3), so the budget is spent almost entirely on the sample buffer.
+    pub const fn kde_sample_points(self, dims: usize, precision: Precision) -> usize {
+        self.bytes / (dims * precision.bytes())
+    }
+
+    /// How many STHoles buckets fit, at the given precision.
+    ///
+    /// Each bucket stores a `d`-dimensional box (2·d scalars), a frequency,
+    /// and tree linkage; we charge `2·d + 2` scalars per bucket, matching the
+    /// accounting used in the STHoles paper's experiments.
+    pub const fn stholes_buckets(self, dims: usize, precision: Precision) -> usize {
+        self.bytes / ((2 * dims + 2) * precision.bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_scales_with_dims() {
+        assert_eq!(MemoryBudget::paper_default(3).bytes(), 3 * 4096);
+        assert_eq!(MemoryBudget::paper_default(8).bytes(), 8 * 4096);
+    }
+
+    #[test]
+    fn kde_point_count_matches_paper_numbers() {
+        // 8D, f32: 8·4096 bytes / (8 dims · 4 B) = 1024 points — consistent
+        // with the paper's remark that the static experiments used ~32 KiB
+        // samples.
+        let b = MemoryBudget::paper_default(8);
+        assert_eq!(b.kde_sample_points(8, Precision::F32), 1024);
+        assert_eq!(b.kde_sample_points(8, Precision::F64), 512);
+    }
+
+    #[test]
+    fn stholes_bucket_count() {
+        let b = MemoryBudget::paper_default(3);
+        // 3·4096 / ((2·3+2)·4) = 12288/32 = 384 buckets at f32.
+        assert_eq!(b.stholes_buckets(3, Precision::F32), 384);
+    }
+
+    #[test]
+    fn more_dims_do_not_reduce_point_count_under_paper_budget() {
+        // The d·4 KiB budget exactly cancels the per-point growth in d, so
+        // the point count is constant across dimensionalities.
+        for d in 1..=16 {
+            let b = MemoryBudget::paper_default(d);
+            assert_eq!(b.kde_sample_points(d, Precision::F32), 1024);
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Estimation-error metrics (Appendix C.1 of the paper).
+//!
+//! The paper's bandwidth optimization minimizes a *differentiable loss*
+//! (implemented, with gradients, in `kdesel-kde::loss`); the evaluation
+//! *reports* errors with the metrics below. Keeping the report-side metrics
+//! here lets every estimator and experiment share one definition.
+
+use serde::{Deserialize, Serialize};
+
+/// Smoothing constant `λ` preventing division by zero in relative metrics
+/// and the Q-error (Appendix C.1, footnote 6). The paper leaves the value
+/// open; we use one tuple's worth of selectivity at the evaluation's typical
+/// table sizes.
+pub const QERROR_SMOOTHING: f64 = 1e-6;
+
+/// A scalar error metric over (estimate, actual) selectivity pairs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ErrorMetric {
+    /// `|p̂ − p|` — the paper's headline metric (Figures 4, 5, 6, 8).
+    Absolute,
+    /// `(p̂ − p)²`.
+    Squared,
+    /// `|p̂ − p| / (λ + p)`.
+    Relative,
+    /// `((p̂ − p) / (λ + p))²`.
+    SquaredRelative,
+    /// `(log(λ + p̂) − log(λ + p))²` — the squared Q-error of Moerkotte et
+    /// al., symmetric in over-/under-estimation factors.
+    SquaredQ,
+}
+
+impl ErrorMetric {
+    /// Evaluates the metric for one query.
+    pub fn eval(self, estimate: f64, actual: f64) -> f64 {
+        let d = estimate - actual;
+        match self {
+            ErrorMetric::Absolute => d.abs(),
+            ErrorMetric::Squared => d * d,
+            ErrorMetric::Relative => d.abs() / (QERROR_SMOOTHING + actual),
+            ErrorMetric::SquaredRelative => {
+                let r = d / (QERROR_SMOOTHING + actual);
+                r * r
+            }
+            ErrorMetric::SquaredQ => {
+                let q = (QERROR_SMOOTHING + estimate).ln() - (QERROR_SMOOTHING + actual).ln();
+                q * q
+            }
+        }
+    }
+
+    /// Mean metric value over a set of (estimate, actual) pairs.
+    ///
+    /// Returns 0 for an empty slice.
+    pub fn mean(self, pairs: &[(f64, f64)]) -> f64 {
+        if pairs.is_empty() {
+            return 0.0;
+        }
+        pairs.iter().map(|&(e, a)| self.eval(e, a)).sum::<f64>() / pairs.len() as f64
+    }
+
+    /// All metrics, for sweeps.
+    pub const ALL: [ErrorMetric; 5] = [
+        ErrorMetric::Absolute,
+        ErrorMetric::Squared,
+        ErrorMetric::Relative,
+        ErrorMetric::SquaredRelative,
+        ErrorMetric::SquaredQ,
+    ];
+
+    /// Stable identifier for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            ErrorMetric::Absolute => "absolute",
+            ErrorMetric::Squared => "squared",
+            ErrorMetric::Relative => "relative",
+            ErrorMetric::SquaredRelative => "squared_relative",
+            ErrorMetric::SquaredQ => "squared_q",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absolute_and_squared() {
+        assert!((ErrorMetric::Absolute.eval(0.3, 0.1) - 0.2).abs() < 1e-15);
+        assert!((ErrorMetric::Squared.eval(0.3, 0.1) - 0.04).abs() < 1e-15);
+    }
+
+    #[test]
+    fn exact_estimate_has_zero_error_in_all_metrics() {
+        for m in ErrorMetric::ALL {
+            assert_eq!(m.eval(0.25, 0.25), 0.0, "{}", m.name());
+        }
+    }
+
+    #[test]
+    fn relative_error_is_smoothed_at_zero_actual() {
+        let v = ErrorMetric::Relative.eval(0.1, 0.0);
+        assert!(v.is_finite());
+        assert!(v > 0.0);
+    }
+
+    #[test]
+    fn squared_q_is_symmetric_in_log_space() {
+        // Overestimating by 2x and underestimating by 2x should give the same
+        // q-error when selectivities dominate the smoothing constant.
+        let over = ErrorMetric::SquaredQ.eval(0.4, 0.2);
+        let under = ErrorMetric::SquaredQ.eval(0.1, 0.2);
+        assert!((over - under).abs() < 1e-4, "{over} vs {under}");
+    }
+
+    #[test]
+    fn mean_over_pairs() {
+        let pairs = [(0.2, 0.1), (0.1, 0.3)];
+        assert!((ErrorMetric::Absolute.mean(&pairs) - 0.15).abs() < 1e-15);
+        assert_eq!(ErrorMetric::Absolute.mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn metric_names_are_unique() {
+        let mut names: Vec<_> = ErrorMetric::ALL.iter().map(|m| m.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), ErrorMetric::ALL.len());
+    }
+}

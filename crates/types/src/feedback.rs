@@ -1,0 +1,122 @@
+//! Query feedback records.
+//!
+//! After the database executes a range query, the estimator receives the
+//! *true* selectivity alongside its own prediction. This triple drives both
+//! self-tuning mechanisms of the paper: adaptive bandwidth learning (§4.1)
+//! and Karma-based sample maintenance (§4.2).
+
+use crate::rect::Rect;
+use serde::{Deserialize, Serialize};
+
+/// Feedback for one executed range query.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueryFeedback {
+    /// The queried region `Ω`.
+    pub region: Rect,
+    /// The selectivity the estimator predicted before execution, in `[0, 1]`.
+    pub estimate: f64,
+    /// The true selectivity `|σ_{x∈Ω}(R)| / |R|` observed after execution.
+    pub actual: f64,
+    /// Absolute number of qualifying tuples (redundant with `actual` given
+    /// `|R|`, kept because STHoles consumes raw counts).
+    pub cardinality: u64,
+}
+
+impl QueryFeedback {
+    /// Builds a feedback record, deriving `actual` from counts.
+    ///
+    /// # Panics
+    /// Panics if `table_rows == 0` or `cardinality > table_rows`.
+    pub fn from_counts(region: Rect, estimate: f64, cardinality: u64, table_rows: u64) -> Self {
+        assert!(table_rows > 0, "feedback for an empty relation");
+        assert!(
+            cardinality <= table_rows,
+            "cardinality {cardinality} exceeds relation size {table_rows}"
+        );
+        Self {
+            region,
+            estimate,
+            actual: cardinality as f64 / table_rows as f64,
+            cardinality,
+        }
+    }
+
+    /// Signed estimation error `p̂(Ω) − p(Ω)`.
+    #[inline]
+    pub fn signed_error(&self) -> f64 {
+        self.estimate - self.actual
+    }
+
+    /// Absolute selectivity estimation error — the paper's headline quality
+    /// metric (Figures 4, 5, 6, 8).
+    #[inline]
+    pub fn absolute_error(&self) -> f64 {
+        self.signed_error().abs()
+    }
+}
+
+/// A labelled training/test query: region plus true selectivity. Used by the
+/// batch bandwidth optimizer (§3.4) where the estimate is recomputed during
+/// optimization and only the ground truth matters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LabelledQuery {
+    /// The queried region `Ω`.
+    pub region: Rect,
+    /// True selectivity of the region.
+    pub selectivity: f64,
+}
+
+impl LabelledQuery {
+    /// Creates a labelled query.
+    ///
+    /// # Panics
+    /// Panics if selectivity is outside `[0, 1]`.
+    pub fn new(region: Rect, selectivity: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&selectivity),
+            "selectivity {selectivity} out of [0,1]"
+        );
+        Self {
+            region,
+            selectivity,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_counts_derives_selectivity() {
+        let fb = QueryFeedback::from_counts(Rect::cube(2, 0.0, 1.0), 0.3, 25, 100);
+        assert_eq!(fb.actual, 0.25);
+        assert!((fb.signed_error() - 0.05).abs() < 1e-15);
+        assert!((fb.absolute_error() - 0.05).abs() < 1e-15);
+    }
+
+    #[test]
+    fn absolute_error_is_symmetric() {
+        let a = QueryFeedback::from_counts(Rect::cube(1, 0.0, 1.0), 0.2, 30, 100);
+        let b = QueryFeedback::from_counts(Rect::cube(1, 0.0, 1.0), 0.4, 30, 100);
+        assert!((a.absolute_error() - b.absolute_error()).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty relation")]
+    fn zero_rows_panics() {
+        QueryFeedback::from_counts(Rect::cube(1, 0.0, 1.0), 0.0, 0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds relation size")]
+    fn cardinality_above_rows_panics() {
+        QueryFeedback::from_counts(Rect::cube(1, 0.0, 1.0), 0.0, 5, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of [0,1]")]
+    fn labelled_query_validates() {
+        LabelledQuery::new(Rect::cube(1, 0.0, 1.0), 1.5);
+    }
+}

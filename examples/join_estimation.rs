@@ -1,0 +1,75 @@
+//! Join selectivity estimation over a PK-FK join (the paper's §8 outlook).
+//!
+//! Builds a KDE model over a sample of the join result `orders ⋈ customers`
+//! and estimates a predicate spanning both tables. The textbook
+//! independence assumption multiplies per-table selectivities and misses
+//! the cross-table correlation completely; the joint model captures it.
+//!
+//! Run with `cargo run --release --example join_estimation`.
+
+use kdesel::device::{Backend, Device};
+use kdesel::engine::join::{join_truth, JoinKde};
+use kdesel::kde::KernelFn;
+use kdesel::storage::Table;
+use kdesel::Rect;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(2024);
+
+    // customers(customer_id, tier): 300 customers in 4 loyalty tiers.
+    let mut customers = Table::new(2);
+    for c in 0..300 {
+        customers.insert(&[c as f64, (c % 4) as f64]);
+    }
+    // orders(order_id, customer_fk, amount): amount scales with the
+    // customer's tier — a strong cross-table correlation.
+    let mut orders = Table::new(3);
+    for o in 0..10_000 {
+        let c = rng.gen_range(0..300);
+        let tier = (c % 4) as f64;
+        let amount = 120.0 * tier + rng.gen_range(0.0..60.0);
+        orders.insert(&[o as f64, c as f64, amount]);
+    }
+
+    // KDE over the join result (orders ⋈ customers on customer id).
+    let mut joint = JoinKde::new(
+        Device::new(Backend::CpuPar),
+        &orders,
+        1, // fk column in orders
+        &customers,
+        0, // pk column in customers
+        1024,
+        KernelFn::Gaussian,
+        &mut rng,
+    );
+
+    // Predicate over the join: premium customers (tier ≥ 2.5) with large
+    // orders (amount ≥ 300) — nearly the same rows, so the joint
+    // selectivity is ≈ P(tier=3) = 25%, not 25% × 25%.
+    let unb = (f64::NEG_INFINITY, f64::INFINITY);
+    let joined_pred = Rect::from_intervals(&[unb, unb, (300.0, 1e6), unb, (2.5, 3.5)]);
+    let amount_pred = Rect::from_intervals(&[unb, unb, (300.0, 1e6), unb, unb]);
+    let tier_pred = Rect::from_intervals(&[unb, unb, unb, unb, (2.5, 3.5)]);
+
+    let (join_size, matching) = join_truth(&orders, 1, &customers, 0, &joined_pred);
+    let truth = matching as f64 / join_size as f64;
+    let kde = joint.estimate(&joined_pred);
+    let independence = joint.estimate(&amount_pred) * joint.estimate(&tier_pred);
+
+    println!("join size: {join_size} tuples");
+    println!("predicate: amount ≥ 300 AND customer tier = 3\n");
+    println!("  true selectivity:            {truth:.4}");
+    println!(
+        "  joint KDE estimate:          {kde:.4}   (|error| {:.4})",
+        (kde - truth).abs()
+    );
+    println!(
+        "  independence assumption:     {independence:.4}   (|error| {:.4})",
+        (independence - truth).abs()
+    );
+    assert!((kde - truth).abs() < (independence - truth).abs());
+    println!("\nThe joint model captures the cross-table correlation the");
+    println!("independence assumption destroys — the paper's §8 motivation.");
+}

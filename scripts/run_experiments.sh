@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Regenerates the paper's tables/figures into results/.
+# Quick profile by default; pass --full for paper-scale parameters.
+#
+# Note: `table1_winrates` reruns all 40 static cells (3D + 8D) to print the
+# pooled Table 1 matrix. The quick pass skips it because fig4/fig5 already
+# print the same matrix per dimensionality; run it explicitly (or with
+# --full) for the pooled version:
+#   cargo run --release -p kdesel-bench --bin table1_winrates
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ARGS=("$@")
+run() {
+    local name=$1
+    echo "=== $name ${ARGS[*]:-} ==="
+    cargo run --release -p kdesel-bench --bin "$name" -- "${ARGS[@]}" \
+        | tee "results/$name.txt"
+}
+
+cargo build --release -p kdesel-bench --bins
+
+run fig4_static_3d
+run fig6_model_size
+run fig7_performance
+run fig8_dynamic
+run ablation_log_updates
+run ablation_params
+run baselines_extra
+run fig5_static_8d
+
+echo "All experiment outputs written to results/."

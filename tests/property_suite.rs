@@ -1,0 +1,124 @@
+//! Cross-crate property tests: invariants that must hold through the whole
+//! stack, exercised with randomized inputs.
+
+use kdesel::device::{Backend, Device};
+use kdesel::hist::{SthConfig, SthHoles};
+use kdesel::kde::{KdeEstimator, KernelFn};
+use kdesel::storage::Table;
+use kdesel::Rect;
+use proptest::prelude::*;
+
+/// Strategy: a small random 2D table with values in [0, 100).
+fn table_strategy() -> impl Strategy<Value = Table> {
+    proptest::collection::vec((0.0f64..100.0, 0.0f64..100.0), 10..120).prop_map(|points| {
+        let mut data = Vec::with_capacity(points.len() * 2);
+        for (x, y) in points {
+            data.push(x);
+            data.push(y);
+        }
+        Table::from_rows(2, &data)
+    })
+}
+
+/// Strategy: a random query box over roughly the same domain.
+fn rect_strategy() -> impl Strategy<Value = Rect> {
+    (
+        -10.0f64..110.0,
+        -10.0f64..110.0,
+        0.0f64..60.0,
+        0.0f64..60.0,
+    )
+        .prop_map(|(x, y, w, h)| Rect::from_intervals(&[(x, x + w), (y, y + h)]))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The KDE estimate is always a valid selectivity and is monotone under
+    /// query growth, for any sample and any query.
+    #[test]
+    fn kde_estimates_are_valid_and_monotone(
+        table in table_strategy(),
+        q in rect_strategy(),
+        grow in 0.0f64..20.0,
+    ) {
+        let sample: Vec<f64> = table.rows().flat_map(|(_, r)| r.to_vec()).collect();
+        let mut est = KdeEstimator::new(
+            Device::new(Backend::CpuSeq), &sample, 2, KernelFn::Gaussian);
+        let small = est.estimate(&q);
+        let large = est.estimate(&q.inflated(grow));
+        prop_assert!((0.0..=1.0).contains(&small));
+        prop_assert!(large >= small - 1e-12);
+    }
+
+    /// True table selectivity is monotone under query growth and bounded by
+    /// the estimate of the whole domain.
+    #[test]
+    fn table_selectivity_is_monotone(
+        table in table_strategy(),
+        q in rect_strategy(),
+        grow in 0.0f64..20.0,
+    ) {
+        let small = table.selectivity(&q);
+        let large = table.selectivity(&q.inflated(grow));
+        prop_assert!(large >= small);
+        prop_assert!((0.0..=1.0).contains(&small));
+    }
+
+    /// STHoles never breaks its structural invariants, whatever the query
+    /// stream, and its estimates remain selectivities.
+    #[test]
+    fn stholes_invariants_hold_under_random_refinement(
+        table in table_strategy(),
+        queries in proptest::collection::vec(rect_strategy(), 1..15),
+    ) {
+        let mut hist = SthHoles::new(
+            table.bounding_box().expect("non-empty"),
+            table.row_count() as u64,
+            SthConfig { max_buckets: 12 },
+        );
+        for q in &queries {
+            let est = hist.estimate_selectivity(q);
+            prop_assert!((0.0..=1.0).contains(&est));
+            hist.refine(q, |r| table.count_in(r));
+            prop_assert!(hist.bucket_count() <= 12);
+            if let Err(e) = hist.check_invariants() {
+                return Err(TestCaseError::fail(e));
+            }
+        }
+    }
+
+    /// A refined STHoles histogram answers the refining query (when
+    /// repeated immediately) with low error.
+    #[test]
+    fn stholes_repeated_query_is_accurate(
+        table in table_strategy(),
+        q in rect_strategy(),
+    ) {
+        let mut hist = SthHoles::new(
+            table.bounding_box().expect("non-empty"),
+            table.row_count() as u64,
+            SthConfig { max_buckets: 64 },
+        );
+        hist.refine(&q, |r| table.count_in(r));
+        let est = hist.estimate_selectivity(&q);
+        let truth = table.selectivity(&q);
+        // One refinement drills exact counts; small residue can remain when
+        // the candidate was shrunk around pre-existing children (none here,
+        // fresh histogram), so this must be nearly exact.
+        prop_assert!((est - truth).abs() < 1e-6, "est {} truth {}", est, truth);
+    }
+
+    /// The device layer is a pure executor: uploading and downloading any
+    /// buffer roundtrips exactly on every backend.
+    #[test]
+    fn device_buffers_roundtrip(
+        data in proptest::collection::vec(-1e9f64..1e9, 0..200),
+    ) {
+        for backend in [Backend::CpuSeq, Backend::CpuPar, Backend::SimGpu] {
+            let d = Device::new(backend);
+            let buf = d.upload(&data);
+            prop_assert_eq!(d.download(&buf), data.clone());
+        }
+    }
+}
