@@ -45,13 +45,12 @@ fn bench_estimate(c: &mut Criterion) {
         let sample = uniform_sample(n, dims, 1);
         let query = Rect::cube(dims, 20.0, 60.0);
         for backend in [Backend::CpuSeq, Backend::CpuPar] {
-            let mut est = KdeEstimator::new(Device::new(backend), &sample, dims, KernelFn::Gaussian);
+            let mut est =
+                KdeEstimator::new(Device::new(backend), &sample, dims, KernelFn::Gaussian);
             g.throughput(Throughput::Elements(n as u64));
-            g.bench_with_input(
-                BenchmarkId::new(backend.name(), n),
-                &n,
-                |b, _| b.iter(|| black_box(est.estimate(black_box(&query)))),
-            );
+            g.bench_with_input(BenchmarkId::new(backend.name(), n), &n, |b, _| {
+                b.iter(|| black_box(est.estimate(black_box(&query))))
+            });
         }
     }
     g.finish();
@@ -61,7 +60,12 @@ fn bench_gradient(c: &mut Criterion) {
     let dims = 8;
     let n = 1 << 13;
     let sample = uniform_sample(n, dims, 2);
-    let est = KdeEstimator::new(Device::new(Backend::CpuPar), &sample, dims, KernelFn::Gaussian);
+    let est = KdeEstimator::new(
+        Device::new(Backend::CpuPar),
+        &sample,
+        dims,
+        KernelFn::Gaussian,
+    );
     let query = Rect::cube(dims, 20.0, 60.0);
     let mut g = c.benchmark_group("kde_gradient");
     g.throughput(Throughput::Elements(n as u64));
@@ -75,7 +79,12 @@ fn bench_karma(c: &mut Criterion) {
     let dims = 8;
     let n = 1 << 13;
     let sample = uniform_sample(n, dims, 3);
-    let mut est = KdeEstimator::new(Device::new(Backend::CpuPar), &sample, dims, KernelFn::Gaussian);
+    let mut est = KdeEstimator::new(
+        Device::new(Backend::CpuPar),
+        &sample,
+        dims,
+        KernelFn::Gaussian,
+    );
     let mut karma = KarmaMaintenance::new(&est, KarmaConfig::default());
     let query = Rect::cube(dims, 20.0, 60.0);
     let estimate = est.estimate(&query);
@@ -140,19 +149,19 @@ fn bench_loss_gradient(c: &mut Criterion) {
     let dims = 8;
     let n = 1 << 12;
     let sample = uniform_sample(n, dims, 7);
-    let mut est = KdeEstimator::new(Device::new(Backend::CpuPar), &sample, dims, KernelFn::Gaussian);
+    let mut est = KdeEstimator::new(
+        Device::new(Backend::CpuPar),
+        &sample,
+        dims,
+        KernelFn::Gaussian,
+    );
     let query = Rect::cube(dims, 10.0, 80.0);
     let estimate = est.estimate(&query);
     let mut g = c.benchmark_group("loss_gradient");
     g.throughput(Throughput::Elements(n as u64));
     g.bench_function("quadratic_8d_4k", |b| {
         b.iter(|| {
-            black_box(est.loss_gradient(
-                black_box(&query),
-                estimate,
-                0.01,
-                LossFunction::Quadratic,
-            ))
+            black_box(est.loss_gradient(black_box(&query), estimate, 0.01, LossFunction::Quadratic))
         })
     });
     g.finish();

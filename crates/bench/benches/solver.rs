@@ -5,7 +5,10 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use kdesel_data::{generate_workload, Dataset, WorkloadKind, WorkloadSpec};
 use kdesel_device::{Backend, Device};
-use kdesel_kde::{lscv_bandwidth, optimize_bandwidth, scv_bandwidth, BatchConfig, CvConfig, KdeEstimator, KernelFn};
+use kdesel_kde::{
+    lscv_bandwidth, optimize_bandwidth, scv_bandwidth, BatchConfig, CvConfig, KdeEstimator,
+    KernelFn,
+};
 use kdesel_solver::{lbfgs, multistart, Bounds, LbfgsConfig, MultistartConfig};
 use kdesel_storage::sampling;
 use rand::rngs::StdRng;

@@ -4,8 +4,13 @@
 //! repetitions and smoothed over windows of queries) for STHoles, Heuristic
 //! and Adaptive, together with the live tuple count — the two curves of the
 //! paper's Figure 8. Runs the 5D scenario by default; `--full` adds 8D.
+//!
+//! Lives in the library (rather than only in `src/bin/`) so both the
+//! `kdesel-bench` binary and the root package can expose a
+//! `fig8_dynamic` bin target: `cargo run --release --bin fig8_dynamic`
+//! then works from the workspace root without `-p`.
 
-use kdesel_bench::{emit, Cli};
+use crate::{emit, Cli};
 use kdesel_engine::experiments::dynamic::{run_dynamic, DynamicConfig};
 use kdesel_engine::report::{fmt, TextTable};
 
@@ -15,7 +20,7 @@ fn run_dims(cli: &Cli, dims: usize) {
         cluster_size: if cli.full { 1500 } else { 500 },
         cycles: if cli.full { 10 } else { 6 },
         repetitions: cli.reps_or(2, 10),
-        seed: cli.seed.unwrap_or(0xf18_8),
+        seed: cli.seed.unwrap_or(0xf188),
         ..Default::default()
     };
     eprintln!(
@@ -57,7 +62,9 @@ fn run_dims(cli: &Cli, dims: usize) {
     emit(cli, &table);
 }
 
-fn main() {
+/// The `fig8_dynamic` entry point: parses the common CLI and runs the
+/// Figure 8 protocol.
+pub fn run() {
     let cli = Cli::parse();
     run_dims(&cli, 5);
     if cli.full {

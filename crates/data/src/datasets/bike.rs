@@ -44,13 +44,14 @@ pub fn generate(rows: usize, seed: u64) -> Table {
         let humidity = (75.0 - 1.2 * temp + 8.0 * noise.sample(&mut rng)).clamp(0.0, 100.0);
         let windspeed = (8.0 + 4.0 * noise.sample(&mut rng)).abs();
         let visibility = (10.0 - 0.04 * humidity + 0.5 * noise.sample(&mut rng)).clamp(0.5, 10.0);
-        let uv_index = ((temp / 6.0) * (1.0 - humidity / 200.0)
-            * (-((hour - 13.0) / 4.0).powi(2)).exp())
-        .max(0.0);
+        let uv_index =
+            ((temp / 6.0) * (1.0 - humidity / 200.0) * (-((hour - 13.0) / 4.0).powi(2)).exp())
+                .max(0.0);
 
         // Demand: commute double peak on working days, midday hump on
         // weekends; modulated by temperature; right-skewed noise.
-        let commute = (-((hour - 8.0) / 1.5).powi(2)).exp() + (-((hour - 18.0) / 2.0).powi(2)).exp();
+        let commute =
+            (-((hour - 8.0) / 1.5).powi(2)).exp() + (-((hour - 18.0) / 2.0).powi(2)).exp();
         let leisure = (-((hour - 14.0) / 3.5).powi(2)).exp();
         let shape = if workingday == 1.0 {
             0.8 * commute + 0.2 * leisure
@@ -62,8 +63,7 @@ pub fn generate(rows: usize, seed: u64) -> Table {
         let base = 260.0 * shape * weather_factor;
         let lognorm = (0.35 * noise.sample(&mut rng)).exp();
         let registered = (base * lognorm * if workingday == 1.0 { 1.0 } else { 0.55 }).max(0.0);
-        let casual =
-            (0.35 * base * lognorm * if workingday == 1.0 { 0.4 } else { 1.3 }).max(0.0);
+        let casual = (0.35 * base * lognorm * if workingday == 1.0 { 0.4 } else { 1.3 }).max(0.0);
         let total = casual + registered;
 
         let temp_trend = diurnal + 0.5 * noise.sample(&mut rng);

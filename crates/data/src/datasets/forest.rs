@@ -52,20 +52,18 @@ pub fn generate(rows: usize, seed: u64) -> Table {
 
         let aspect: f64 = rng.gen_range(0.0..360.0);
         // Slope: right-skewed via squared normal, steeper at high elevation.
-        let slope = (2.0 + 10.0 * noise.sample(&mut rng).powi(2)
-            + (elevation - 2800.0).max(0.0) / 150.0)
-            .clamp(0.0, 60.0);
+        let slope =
+            (2.0 + 10.0 * noise.sample(&mut rng).powi(2) + (elevation - 2800.0).max(0.0) / 150.0)
+                .clamp(0.0, 60.0);
 
         // Hydrology distances: higher cells sit further from water; the
         // vertical distance tracks the horizontal one.
-        let horiz_hydro = ((elevation - 1900.0) / 4.0
-            + 90.0 * noise.sample(&mut rng).abs())
-        .max(0.0);
+        let horiz_hydro =
+            ((elevation - 1900.0) / 4.0 + 90.0 * noise.sample(&mut rng).abs()).max(0.0);
         let vert_hydro = 0.18 * horiz_hydro + 15.0 * noise.sample(&mut rng);
 
-        let horiz_road = (1500.0 + (elevation - 2800.0) * 1.1
-            + 700.0 * noise.sample(&mut rng))
-        .max(0.0);
+        let horiz_road =
+            (1500.0 + (elevation - 2800.0) * 1.1 + 700.0 * noise.sample(&mut rng)).max(0.0);
         let horiz_fire = (1400.0 + 0.3 * horiz_road + 600.0 * noise.sample(&mut rng)).max(0.0);
 
         // Hillshade model: illumination from the east at 9am, south at noon,

@@ -84,7 +84,10 @@ mod tests {
         let median = areas[areas.len() / 2];
         let p99 = areas[(areas.len() as f64 * 0.99) as usize];
         assert!(mean > median * 1.1, "no right skew");
-        assert!(p99 > 4.0 * median, "tail too light: p99 {p99}, median {median}");
+        assert!(
+            p99 > 4.0 * median,
+            "tail too light: p99 {p99}, median {median}"
+        );
     }
 
     #[test]

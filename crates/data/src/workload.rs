@@ -361,6 +361,11 @@ mod tests {
     fn empty_table_rejected() {
         let t = Table::new(2);
         let mut rng = StdRng::seed_from_u64(0);
-        generate_workload(&t, WorkloadSpec::paper(WorkloadKind::DataTarget), 1, &mut rng);
+        generate_workload(
+            &t,
+            WorkloadSpec::paper(WorkloadKind::DataTarget),
+            1,
+            &mut rng,
+        );
     }
 }

@@ -1,9 +1,7 @@
 //! The device abstraction: buffers, kernels, reductions, timing.
 
 use crate::cost::{CostModel, CostProfile};
-use parking_lot::Mutex;
-use rayon::prelude::*;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// Execution backend.
@@ -11,8 +9,8 @@ use std::time::Instant;
 pub enum Backend {
     /// Sequential CPU execution (reference implementation).
     CpuSeq,
-    /// Multi-core CPU execution via rayon — the stand-in for the paper's
-    /// Intel OpenCL CPU backend.
+    /// Multi-core CPU execution via `kdesel-par` — the stand-in for the
+    /// paper's Intel OpenCL CPU backend.
     CpuPar,
     /// Simulated GPU: parallel CPU execution with the GTX-460 cost model.
     SimGpu,
@@ -78,11 +76,41 @@ impl DeviceBuffer {
 /// All methods take `&self`; timing/statistics use interior mutability so a
 /// device can be shared by the estimator components that the paper runs
 /// concurrently (estimation vs. gradient pre-computation, §5.5).
+/// Telemetry handles, resolved once at device construction so the
+/// per-operation cost is a handful of relaxed atomic adds (and zero
+/// when telemetry is disabled).
+#[derive(Debug)]
+struct Meters {
+    kernels: Arc<kdesel_telemetry::Counter>,
+    uploads: Arc<kdesel_telemetry::Counter>,
+    downloads: Arc<kdesel_telemetry::Counter>,
+    bytes_up: Arc<kdesel_telemetry::Counter>,
+    bytes_down: Arc<kdesel_telemetry::Counter>,
+    modeled_us: Arc<kdesel_telemetry::Gauge>,
+    measured_us: Arc<kdesel_telemetry::Gauge>,
+}
+
+impl Meters {
+    fn new(backend: Backend) -> Self {
+        let r = kdesel_telemetry::registry();
+        Self {
+            kernels: r.counter("device.kernels"),
+            uploads: r.counter("device.uploads"),
+            downloads: r.counter("device.downloads"),
+            bytes_up: r.counter("device.bytes_up"),
+            bytes_down: r.counter("device.bytes_down"),
+            modeled_us: r.gauge(&format!("device.modeled_us.{}", backend.name())),
+            measured_us: r.gauge(&format!("device.measured_us.{}", backend.name())),
+        }
+    }
+}
+
 #[derive(Debug)]
 pub struct Device {
     backend: Backend,
     cost: CostModel,
     timing: Arc<Mutex<Timing>>,
+    meters: Meters,
 }
 
 impl Device {
@@ -103,6 +131,7 @@ impl Device {
             backend,
             cost: CostModel::new(profile),
             timing: Arc::new(Mutex::new(Timing::default())),
+            meters: Meters::new(backend),
         }
     }
 
@@ -148,32 +177,53 @@ impl Device {
 
     /// Accumulated modeled seconds.
     pub fn modeled_seconds(&self) -> f64 {
-        self.timing.lock().modeled_seconds
+        self.timing.lock().unwrap().modeled_seconds
     }
 
     /// Accumulated measured (wall-clock) seconds inside device operations.
     pub fn measured_seconds(&self) -> f64 {
-        self.timing.lock().measured_seconds
+        self.timing.lock().unwrap().measured_seconds
     }
 
     /// Transfer/kernel counters.
     pub fn stats(&self) -> DeviceStats {
-        self.timing.lock().stats
+        self.timing.lock().unwrap().stats
     }
 
     /// Resets all accumulated timing and counters.
     pub fn reset_timing(&self) {
-        *self.timing.lock() = Timing::default();
+        *self.timing.lock().unwrap() = Timing::default();
     }
 
-    fn charge<T>(&self, modeled: f64, mutate: impl FnOnce(&mut DeviceStats), run: impl FnOnce() -> T) -> T {
+    fn charge<T>(
+        &self,
+        modeled: f64,
+        mutate: impl FnOnce(&mut DeviceStats),
+        run: impl FnOnce() -> T,
+    ) -> T {
         let start = Instant::now();
         let out = run();
         let measured = start.elapsed().as_secs_f64();
-        let mut t = self.timing.lock();
+        let mut t = self.timing.lock().unwrap();
         t.modeled_seconds += modeled;
         t.measured_seconds += measured;
+        let before = t.stats;
         mutate(&mut t.stats);
+        let after = t.stats;
+        drop(t);
+        // Mirror the per-device counters into the process-global
+        // telemetry registry (the bridge that makes Figure 7's
+        // transfer/launch accounting visible in a metrics dump).
+        if kdesel_telemetry::enabled() {
+            let m = &self.meters;
+            m.kernels.add(after.kernels - before.kernels);
+            m.uploads.add(after.uploads - before.uploads);
+            m.downloads.add(after.downloads - before.downloads);
+            m.bytes_up.add(after.bytes_up - before.bytes_up);
+            m.bytes_down.add(after.bytes_down - before.bytes_down);
+            m.modeled_us.add(modeled * 1e6);
+            m.measured_us.add(measured * 1e6);
+        }
         out
     }
 
@@ -236,7 +286,13 @@ impl Device {
     ///
     /// # Panics
     /// Panics if the buffer length is not a multiple of `dims`.
-    pub fn map_rows<F>(&self, buf: &DeviceBuffer, dims: usize, flops_per_row: f64, f: F) -> DeviceBuffer
+    pub fn map_rows<F>(
+        &self,
+        buf: &DeviceBuffer,
+        dims: usize,
+        flops_per_row: f64,
+        f: F,
+    ) -> DeviceBuffer
     where
         F: Fn(&[f64]) -> f64 + Sync,
     {
@@ -249,7 +305,10 @@ impl Device {
                 let data = match self.backend {
                     Backend::CpuSeq => buf.data.chunks_exact(dims).map(&f).collect(),
                     Backend::CpuPar | Backend::SimGpu => {
-                        buf.data.par_chunks_exact(dims).map(&f).collect()
+                        kdesel_par::par_map_collect(
+                            rows,
+                            |i| f(&buf.data[i * dims..(i + 1) * dims]),
+                        )
                     }
                 };
                 DeviceBuffer { data }
@@ -289,10 +348,9 @@ impl Device {
                         }
                     }
                     Backend::CpuPar | Backend::SimGpu => {
-                        buf.data
-                            .par_chunks_exact(dims)
-                            .zip(data.par_chunks_exact_mut(out_width))
-                            .for_each(|(row, out)| f(row, out));
+                        kdesel_par::par_for_each_row_mut(&mut data, out_width, |i, out| {
+                            f(&buf.data[i * dims..(i + 1) * dims], out)
+                        });
                     }
                 }
                 DeviceBuffer { data }
@@ -317,10 +375,7 @@ impl Device {
                     }
                 }
                 Backend::CpuPar | Backend::SimGpu => {
-                    buf.data
-                        .par_iter_mut()
-                        .enumerate()
-                        .for_each(|(i, v)| *v = f(i, *v));
+                    kdesel_par::par_for_each_mut(&mut buf.data, |i, v| *v = f(i, *v));
                 }
             },
         )
@@ -342,7 +397,11 @@ impl Device {
     ) where
         F: Fn(usize, f64, f64) -> f64 + Sync,
     {
-        assert_eq!(target.data.len(), source.data.len(), "buffer length mismatch");
+        assert_eq!(
+            target.data.len(),
+            source.data.len(),
+            "buffer length mismatch"
+        );
         let n = target.data.len();
         self.charge(
             self.cost.kernel(n, flops_per_item),
@@ -354,12 +413,8 @@ impl Device {
                     }
                 }
                 Backend::CpuPar | Backend::SimGpu => {
-                    target
-                        .data
-                        .par_iter_mut()
-                        .zip(&source.data)
-                        .enumerate()
-                        .for_each(|(i, (t, &s))| *t = f(i, *t, s));
+                    let src = source.data.as_slice();
+                    kdesel_par::par_for_each_mut(&mut target.data, |i, t| *t = f(i, *t, src[i]));
                 }
             },
         )
@@ -401,7 +456,8 @@ impl Device {
             || {
                 (0..width)
                     .map(|c| {
-                        let col: Vec<f64> = buf.data.iter().skip(c).step_by(width).copied().collect();
+                        let col: Vec<f64> =
+                            buf.data.iter().skip(c).step_by(width).copied().collect();
                         pairwise_sum(&col)
                     })
                     .collect()
@@ -527,6 +583,74 @@ mod tests {
     }
 
     #[test]
+    fn stats_account_every_transfer_and_launch() {
+        for b in BACKENDS {
+            let name = b.name();
+            let d = Device::new(b);
+            assert_eq!(d.stats(), DeviceStats::default(), "{name}");
+
+            // Transfers are 8 bytes per f64 element, one transfer each.
+            let buf = d.upload(&[1.0; 96]);
+            let s = d.stats();
+            assert_eq!((s.uploads, s.bytes_up), (1, 96 * 8), "{name}");
+
+            // Each map/update launch is exactly one kernel; allocation
+            // charges nothing.
+            let mapped = d.map_rows(&buf, 3, 1.0, |r| r[0] + r[1] + r[2]);
+            let _multi = d.map_rows_multi(&buf, 3, 2, 1.0, |r, o| {
+                o[0] = r[0];
+                o[1] = r[2];
+            });
+            let mut acc = d.alloc_zeroed(32);
+            d.update_inplace(&mut acc, 1.0, |_, v| v + 1.0);
+            d.zip_update_inplace(&mut acc, &mapped, 1.0, |_, t, src| t + src);
+            let s = d.stats();
+            assert_eq!(s.kernels, 4, "{name}");
+            assert_eq!((s.downloads, s.bytes_down), (0, 0), "{name}");
+
+            // Reductions are multi-pass: two launches plus the result
+            // readback (one scalar, or `width` scalars for columns).
+            let _ = d.reduce_sum(&mapped);
+            let s = d.stats();
+            assert_eq!(s.kernels, 6, "{name}");
+            assert_eq!((s.downloads, s.bytes_down), (1, 8), "{name}");
+            let _ = d.reduce_sum_columns(&buf, 3);
+            let s = d.stats();
+            assert_eq!(s.kernels, 8, "{name}");
+            assert_eq!((s.downloads, s.bytes_down), (2, 8 + 24), "{name}");
+
+            // A full download moves the whole buffer.
+            let host = d.download(&buf);
+            assert_eq!(host.len(), 96);
+            let s = d.stats();
+            assert_eq!((s.downloads, s.bytes_down), (3, 8 + 24 + 96 * 8), "{name}");
+
+            // Partial writes charge only the written region.
+            d.write_at(&mut acc, 0, &[5.0; 4]);
+            let s = d.stats();
+            assert_eq!((s.uploads, s.bytes_up), (2, 96 * 8 + 32), "{name}");
+        }
+    }
+
+    #[test]
+    fn enabled_telemetry_mirrors_stats_deltas() {
+        let reg = kdesel_telemetry::registry();
+        let kernels = reg.counter("device.kernels");
+        let bytes_up = reg.counter("device.bytes_up");
+        let (k0, b0) = (kernels.get(), bytes_up.get());
+        kdesel_telemetry::set_enabled(true);
+        let d = Device::new(Backend::CpuSeq);
+        let buf = d.upload(&[1.0; 8]);
+        let _ = d.reduce_sum(&buf);
+        kdesel_telemetry::set_enabled(false);
+        // `>=`: other tests in this binary may run concurrently while the
+        // global flag is up; this device alone contributes 2 kernels and
+        // 64 bytes.
+        assert!(kernels.get() - k0 >= 2);
+        assert!(bytes_up.get() - b0 >= 64);
+    }
+
+    #[test]
     fn modeled_time_accumulates_and_resets() {
         let d = Device::new(Backend::SimGpu);
         assert_eq!(d.modeled_seconds(), 0.0);
@@ -545,9 +669,7 @@ mod tests {
         let d = Device::new(Backend::SimGpu);
         let cost_of = |n: usize| {
             d.reset_timing();
-            let buf = DeviceBuffer {
-                data: vec![0.0; n],
-            };
+            let buf = DeviceBuffer { data: vec![0.0; n] };
             let _ = d.map_rows(&buf, 1, 480.0, |r| r[0]);
             d.modeled_seconds()
         };
@@ -566,7 +688,7 @@ mod tests {
     fn pairwise_sum_is_deterministic_and_accurate() {
         // Ill-conditioned sum: large + many smalls.
         let mut vals = vec![1e16];
-        vals.extend(std::iter::repeat(1.0).take(4096));
+        vals.extend(std::iter::repeat_n(1.0, 4096));
         vals.push(-1e16);
         let s = pairwise_sum(&vals);
         assert_eq!(s, pairwise_sum(&vals));
@@ -605,7 +727,10 @@ mod tests {
             d.modeled_seconds()
         };
         let tiny_ratio = tiny(&tenth) / tiny(&full);
-        assert!((0.99..1.01).contains(&tiny_ratio), "tiny ratio {tiny_ratio}");
+        assert!(
+            (0.99..1.01).contains(&tiny_ratio),
+            "tiny ratio {tiny_ratio}"
+        );
     }
 
     #[test]

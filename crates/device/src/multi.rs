@@ -90,12 +90,7 @@ impl DeviceGroup {
     /// The caller reads the modeled wall time via
     /// [`modeled_seconds_parallel`](Self::modeled_seconds_parallel), which
     /// accounts for the devices running side by side.
-    pub fn map_reduce_sum<F>(
-        &self,
-        buffer: &PartitionedBuffer,
-        flops_per_row: f64,
-        f: F,
-    ) -> f64
+    pub fn map_reduce_sum<F>(&self, buffer: &PartitionedBuffer, flops_per_row: f64, f: F) -> f64
     where
         F: Fn(&[f64]) -> f64 + Sync,
     {

@@ -129,6 +129,9 @@ impl BuildConfig {
 }
 
 /// One estimator of any kind, with the feedback plumbing it needs.
+// Variant sizes differ by design: the enum is built a handful of times
+// per experiment, so boxing the large variants buys nothing.
+#[allow(clippy::large_enum_variant)]
 pub enum AnyEstimator {
     /// Scott's-rule KDE.
     Heuristic(HeuristicKde),
@@ -228,9 +231,7 @@ impl AnyEstimator {
                 let buckets = (scalars / dims).saturating_sub(1).max(8);
                 AnyEstimator::Avi(AviEstimator::build(sample, dims, buckets))
             }
-            EstimatorKind::Sampling => {
-                AnyEstimator::Sampling(SampleEstimator::new(sample, dims))
-            }
+            EstimatorKind::Sampling => AnyEstimator::Sampling(SampleEstimator::new(sample, dims)),
         }
     }
 
@@ -255,9 +256,7 @@ impl AnyEstimator {
     /// Estimates the selectivity of `region`.
     pub fn estimate(&mut self, region: &Rect) -> f64 {
         match self {
-            AnyEstimator::Heuristic(e) => {
-                kdesel_types::SelectivityEstimator::estimate(e, region)
-            }
+            AnyEstimator::Heuristic(e) => kdesel_types::SelectivityEstimator::estimate(e, region),
             AnyEstimator::Scv(e) => kdesel_types::SelectivityEstimator::estimate(e, region),
             AnyEstimator::Batch(e) => kdesel_types::SelectivityEstimator::estimate(e, region),
             AnyEstimator::Adaptive { kde, .. } => {
@@ -319,9 +318,7 @@ impl AnyEstimator {
             }
             AnyEstimator::SthHoles(h) => h.memory_bytes(),
             AnyEstimator::Avi(a) => a.memory_bytes(),
-            AnyEstimator::Sampling(s) => {
-                kdesel_types::SelectivityEstimator::memory_bytes(s)
-            }
+            AnyEstimator::Sampling(s) => kdesel_types::SelectivityEstimator::memory_bytes(s),
         }
     }
 
@@ -381,8 +378,14 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(4);
         let sample = sampling::sample_rows(&table, 64, &mut rng);
         let config = BuildConfig::paper_default(2);
-        let mut e =
-            AnyEstimator::build(EstimatorKind::Adaptive, &table, &sample, &[], &config, &mut rng);
+        let mut e = AnyEstimator::build(
+            EstimatorKind::Adaptive,
+            &table,
+            &sample,
+            &[],
+            &config,
+            &mut rng,
+        );
         // A far-away empty region containing no data: estimate, then feed
         // back zero. No sample point is there, so nothing to replace — must
         // not panic and must keep estimating.
@@ -404,8 +407,14 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(6);
         let sample = sampling::sample_rows(&table, 32, &mut rng);
         let config = BuildConfig::paper_default(2);
-        let mut e =
-            AnyEstimator::build(EstimatorKind::Adaptive, &table, &sample, &[], &config, &mut rng);
+        let mut e = AnyEstimator::build(
+            EstimatorKind::Adaptive,
+            &table,
+            &sample,
+            &[],
+            &config,
+            &mut rng,
+        );
         // Insert many copies of a far-away tuple; the reservoir must
         // eventually pull some into the sample, shifting estimates there.
         // The probe box spans several Scott bandwidths (h ≈ 17 for this
@@ -442,8 +451,14 @@ mod tests {
             &config,
             &mut rng,
         );
-        let mut untrained =
-            AnyEstimator::build(EstimatorKind::SthHoles, &table, &sample, &[], &config, &mut rng);
+        let mut untrained = AnyEstimator::build(
+            EstimatorKind::SthHoles,
+            &table,
+            &sample,
+            &[],
+            &config,
+            &mut rng,
+        );
         // Error over the training queries themselves must be lower for the
         // trained histogram.
         let err = |e: &mut AnyEstimator| {

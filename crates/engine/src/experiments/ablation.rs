@@ -81,9 +81,8 @@ fn adaptive_error(
     configure: impl Fn(&mut BuildConfig),
 ) -> f64 {
     let table = dataset.generate_projected(config.dims, config.rows, config.seed);
-    let mut rng = StdRng::seed_from_u64(
-        config.seed + rep as u64 * 131 + workload.name().len() as u64,
-    );
+    let mut rng =
+        StdRng::seed_from_u64(config.seed + rep as u64 * 131 + workload.name().len() as u64);
     let mut build = BuildConfig::paper_default(config.dims);
     configure(&mut build);
     let sample = sampling::sample_rows(&table, build.sample_points(config.dims), &mut rng);

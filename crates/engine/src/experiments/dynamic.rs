@@ -62,7 +62,7 @@ impl Default for DynamicConfig {
                 EstimatorKind::Adaptive,
             ],
             repetitions: 10,
-            seed: 0xf18_8,
+            seed: 0xf188,
         }
     }
 }
@@ -121,7 +121,9 @@ fn build_script(config: &DynamicConfig, seed: u64) -> Vec<Event> {
     // cluster id → (center, live row ids)
     let mut clusters: Vec<(Vec<f64>, Vec<usize>)> = Vec::new();
     let new_center = |rng: &mut StdRng| -> Vec<f64> {
-        (0..dims).map(|_| rng.gen_range(10.0..domain - 10.0)).collect()
+        (0..dims)
+            .map(|_| rng.gen_range(10.0..domain - 10.0))
+            .collect()
     };
 
     // Initial load.
@@ -137,10 +139,10 @@ fn build_script(config: &DynamicConfig, seed: u64) -> Vec<Event> {
     }
 
     let emit_queries = |script: &mut Vec<Event>,
-                            table: &Table,
-                            clusters: &[(Vec<f64>, Vec<usize>)],
-                            rng: &mut StdRng,
-                            count: usize| {
+                        table: &Table,
+                        clusters: &[(Vec<f64>, Vec<usize>)],
+                        rng: &mut StdRng,
+                        count: usize| {
         let live: Vec<usize> = (0..clusters.len())
             .filter(|&c| !clusters[c].1.is_empty())
             .collect();
@@ -189,7 +191,13 @@ fn build_script(config: &DynamicConfig, seed: u64) -> Vec<Event> {
     };
 
     // Warm-up queries on the initial data.
-    emit_queries(&mut script, &table, &clusters, &mut rng, config.queries_per_cycle);
+    emit_queries(
+        &mut script,
+        &table,
+        &clusters,
+        &mut rng,
+        config.queries_per_cycle,
+    );
 
     for cycle in 0..config.cycles {
         let new_id = clusters.len();
@@ -244,10 +252,8 @@ pub fn run_dynamic(config: &DynamicConfig) -> DynamicResult {
                 idx += 1;
             }
             let build = BuildConfig::paper_default(config.dims);
-            let sample =
-                sampling::sample_rows(&table, build.sample_points(config.dims), &mut rng);
-            let mut estimator =
-                AnyEstimator::build(kind, &table, &sample, &[], &build, &mut rng);
+            let sample = sampling::sample_rows(&table, build.sample_points(config.dims), &mut rng);
+            let mut estimator = AnyEstimator::build(kind, &table, &sample, &[], &build, &mut rng);
 
             let mut errors = Vec::new();
             let mut query_sizes = Vec::new();

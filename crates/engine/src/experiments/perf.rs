@@ -50,7 +50,7 @@ impl Default for PerfConfig {
             sample_sizes: (10..=20).map(|p| 1usize << p).collect(),
             queries: 100,
             include_stholes: true,
-            seed: 0xf17_7,
+            seed: 0xf177,
         }
     }
 }
@@ -101,7 +101,13 @@ pub fn run_perf(config: &PerfConfig) -> Vec<PerfSeries> {
             let mut points = Vec::new();
             for &size in &config.sample_sizes {
                 points.push(measure_kde(
-                    &table, &regions, &actuals, backend, adaptive, size, config.seed,
+                    &table,
+                    &regions,
+                    &actuals,
+                    backend,
+                    adaptive,
+                    size,
+                    config.seed,
                 ));
             }
             series.push(PerfSeries { label, points });
@@ -140,7 +146,12 @@ fn measure_kde(
         let chunk = sample[..missing.min(sample.len())].to_vec();
         sample.extend_from_slice(&chunk);
     }
-    let mut estimator = KdeEstimator::new(Device::new(backend), &sample, table.dims(), KernelFn::Gaussian);
+    let mut estimator = KdeEstimator::new(
+        Device::new(backend),
+        &sample,
+        table.dims(),
+        KernelFn::Gaussian,
+    );
     let mut karma = KarmaMaintenance::new(&estimator, KarmaConfig::default());
 
     let profile = *estimator.device().cost_model().profile();
@@ -156,8 +167,7 @@ fn measure_kde(
             // Maintenance work runs concurrently with query execution
             // (§5.5): only its launch/transfer latencies are visible.
             let s0 = estimator.device().stats();
-            let _grad =
-                estimator.loss_gradient(region, estimate, actual, LossFunction::Quadratic);
+            let _grad = estimator.loss_gradient(region, estimate, actual, LossFunction::Quadratic);
             let feedback = QueryFeedback {
                 region: region.clone(),
                 estimate,
@@ -168,8 +178,8 @@ fn measure_kde(
             let s1 = estimator.device().stats();
             let launches = (s1.kernels - s0.kernels) as f64;
             let transfers = (s1.uploads - s0.uploads + s1.downloads - s0.downloads) as f64;
-            modeled += launches * profile.kernel_launch_latency
-                + transfers * profile.transfer_latency;
+            modeled +=
+                launches * profile.kernel_launch_latency + transfers * profile.transfer_latency;
         }
     }
     PerfPoint {
@@ -267,8 +277,14 @@ mod tests {
 
         // Flat-then-linear: 1K → 16K grows far less than 16K → 128K.
         let m = |s: &PerfSeries, i: usize| s.points[i].modeled_seconds.unwrap();
-        assert!(m(hg, 1) / m(hg, 0) < 3.0, "GPU should be latency-bound early");
-        assert!(m(hg, 2) / m(hg, 1) > 3.0, "GPU should be compute-bound late");
+        assert!(
+            m(hg, 1) / m(hg, 0) < 3.0,
+            "GPU should be latency-bound early"
+        );
+        assert!(
+            m(hg, 2) / m(hg, 1) > 3.0,
+            "GPU should be compute-bound late"
+        );
 
         // GPU beats CPU at the largest size by roughly the paper's factor.
         let ratio = m(hc, 2) / m(hg, 2);

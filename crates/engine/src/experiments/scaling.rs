@@ -59,7 +59,7 @@ impl Default for ScalingConfig {
             train_queries: 100,
             test_queries: 100,
             repetitions: 10,
-            seed: 0xf16_6,
+            seed: 0xf166,
             fast_optimizers: false,
         }
     }
@@ -82,7 +82,12 @@ pub fn run_scaling(config: &ScalingConfig) -> ScalingResult {
     let mut series: Vec<(EstimatorKind, Vec<Summary>)> = config
         .estimators
         .iter()
-        .map(|&k| (k, config.sample_sizes.iter().map(|_| Summary::new()).collect()))
+        .map(|&k| {
+            (
+                k,
+                config.sample_sizes.iter().map(|_| Summary::new()).collect(),
+            )
+        })
         .collect();
 
     for (si, &size) in config.sample_sizes.iter().enumerate() {
@@ -101,7 +106,8 @@ pub fn run_scaling(config: &ScalingConfig) -> ScalingResult {
             let train = generate_workload(&table, spec, config.train_queries, &mut rng);
             let test = generate_workload(&table, spec, config.test_queries, &mut rng);
             for (ei, &kind) in config.estimators.iter().enumerate() {
-                let mut est_rng = StdRng::seed_from_u64(config.seed ^ (rep as u64) ^ (ei as u64) << 16);
+                let mut est_rng =
+                    StdRng::seed_from_u64(config.seed ^ (rep as u64) ^ (ei as u64) << 16);
                 let mut estimator =
                     AnyEstimator::build(kind, &table, &sample, &train, &build, &mut est_rng);
                 if kind == EstimatorKind::Adaptive {
@@ -111,8 +117,8 @@ pub fn run_scaling(config: &ScalingConfig) -> ScalingResult {
                 }
                 let mut total = 0.0;
                 for q in &test {
-                    total += run_query(&table, &mut estimator, &q.region, &mut est_rng)
-                        .absolute_error();
+                    total +=
+                        run_query(&table, &mut estimator, &q.region, &mut est_rng).absolute_error();
                 }
                 series[ei].1[si].add(total / test.len() as f64);
             }

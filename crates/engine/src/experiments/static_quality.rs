@@ -112,9 +112,8 @@ fn run_repetition(table: &Table, cell: &StaticCell, config: &StaticConfig, rep: 
         .iter()
         .enumerate()
         .map(|(ei, &kind)| {
-            let mut est_rng = StdRng::seed_from_u64(
-                config.seed ^ (rep as u64) << 8 ^ (ei as u64 + 1) << 32,
-            );
+            let mut est_rng =
+                StdRng::seed_from_u64(config.seed ^ (rep as u64) << 8 ^ (ei as u64 + 1) << 32);
             let mut estimator =
                 AnyEstimator::build(kind, table, &sample, &train, &build, &mut est_rng);
             // The adaptive estimator "trains" by consuming the training
@@ -153,10 +152,7 @@ pub fn run_static_cell(cell: StaticCell, config: &StaticConfig) -> CellResult {
             summary.add(err);
         }
     }
-    CellResult {
-        cell,
-        summaries,
-    }
+    CellResult { cell, summaries }
 }
 
 /// All cells of Figure 4 (3D) or Figure 5 (8D): five datasets × four

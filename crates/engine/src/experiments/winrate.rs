@@ -121,9 +121,13 @@ mod tests {
             (EstimatorKind::Batch, vec![0.1, 0.1, 0.5]),
             (EstimatorKind::Heuristic, vec![0.2, 0.3, 0.1]),
         ]));
-        let r = m.rate(EstimatorKind::Batch, EstimatorKind::Heuristic).unwrap();
+        let r = m
+            .rate(EstimatorKind::Batch, EstimatorKind::Heuristic)
+            .unwrap();
         assert!((r - 66.66667).abs() < 1e-3);
-        let inv = m.rate(EstimatorKind::Heuristic, EstimatorKind::Batch).unwrap();
+        let inv = m
+            .rate(EstimatorKind::Heuristic, EstimatorKind::Batch)
+            .unwrap();
         assert!((inv - 33.33333).abs() < 1e-3);
     }
 

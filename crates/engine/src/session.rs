@@ -32,6 +32,7 @@ pub fn run_query<R: Rng + ?Sized>(
     region: &Rect,
     rng: &mut R,
 ) -> QueryOutcome {
+    let span = kdesel_telemetry::span("engine.query_seconds");
     let estimate = estimator.estimate(region);
     let cardinality = table.count_in(region);
     let actual = if table.row_count() == 0 {
@@ -46,6 +47,13 @@ pub fn run_query<R: Rng + ?Sized>(
         cardinality,
     };
     estimator.handle_feedback(table, &feedback, rng);
+    drop(span);
+    kdesel_telemetry::event("query")
+        .f64("estimate", estimate)
+        .f64("actual", actual)
+        .f64("abs_error", (estimate - actual).abs())
+        .u64("cardinality", cardinality)
+        .emit();
     QueryOutcome {
         estimate,
         actual,
@@ -82,6 +90,41 @@ mod tests {
         assert_eq!(outcome.cardinality, 1000);
         assert_eq!(outcome.actual, 1.0);
         assert!(outcome.absolute_error() < 0.05);
+    }
+
+    #[test]
+    fn run_query_emits_one_consistent_trace_event() {
+        let table = kdesel_data::Dataset::Synthetic.generate_projected(2, 500, 7);
+        let mut rng = StdRng::seed_from_u64(5);
+        let sample = sampling::sample_rows(&table, 32, &mut rng);
+        let config = BuildConfig::paper_default(2);
+        let mut e = AnyEstimator::build(
+            EstimatorKind::Heuristic,
+            &table,
+            &sample,
+            &[],
+            &config,
+            &mut rng,
+        );
+        let ring = std::sync::Arc::new(kdesel_telemetry::RingSink::with_capacity(16));
+        kdesel_telemetry::set_sink(Some(ring.clone()));
+        kdesel_telemetry::set_enabled(true);
+        let region = table.bounding_box().unwrap().inflated(1.0);
+        let outcome = run_query(&table, &mut e, &region, &mut rng);
+        kdesel_telemetry::set_enabled(false);
+        kdesel_telemetry::set_sink(None);
+
+        let events: Vec<_> = ring
+            .drain()
+            .into_iter()
+            .filter(|ev| ev.name == "query")
+            .collect();
+        assert_eq!(events.len(), 1, "exactly one query event per run_query");
+        let ev = &events[0];
+        assert_eq!(ev.get_f64("estimate"), Some(outcome.estimate));
+        assert_eq!(ev.get_f64("actual"), Some(outcome.actual));
+        assert_eq!(ev.get_f64("abs_error"), Some(outcome.absolute_error()));
+        assert_eq!(ev.get_u64("cardinality"), Some(outcome.cardinality));
     }
 
     #[test]

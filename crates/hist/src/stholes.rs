@@ -234,7 +234,9 @@ impl SthHoles {
         for &p in &participants {
             self.buckets[p].parent = Some(hole);
         }
-        self.buckets[b].children.retain(|ci| !participants.contains(ci));
+        self.buckets[b]
+            .children
+            .retain(|ci| !participants.contains(ci));
         self.buckets[b].children.push(hole);
         self.buckets[b].frequency = (self.buckets[b].frequency - f_c).max(0.0);
     }
@@ -499,10 +501,7 @@ impl SthHoles {
             }
             for (i, &c1) in b.children.iter().enumerate() {
                 for &c2 in &b.children[i + 1..] {
-                    if self.buckets[c1]
-                        .bounds
-                        .intersects(&self.buckets[c2].bounds)
-                    {
+                    if self.buckets[c1].bounds.intersects(&self.buckets[c2].bounds) {
                         return Err(format!("siblings {c1} and {c2} overlap"));
                     }
                 }
@@ -638,10 +637,7 @@ mod tests {
             }
         }
         let after = h.estimate_selectivity(&empty_q);
-        assert!(
-            after < 0.01,
-            "learned estimate {after} vs initial {before}"
-        );
+        assert!(after < 0.01, "learned estimate {after} vs initial {before}");
     }
 
     #[test]
@@ -654,7 +650,11 @@ mod tests {
             let cy = rng.gen_range(5.0..45.0);
             let q = Rect::from_intervals(&[(cx - 3.0, cx + 3.0), (cy - 3.0, cy + 3.0)]);
             h.refine(&q, |r| t.count_in(r));
-            assert!(h.bucket_count() <= 8, "budget exceeded: {}", h.bucket_count());
+            assert!(
+                h.bucket_count() <= 8,
+                "budget exceeded: {}",
+                h.bucket_count()
+            );
             h.check_invariants().unwrap();
         }
     }

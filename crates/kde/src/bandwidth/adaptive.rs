@@ -122,6 +122,17 @@ impl AdaptiveTuner {
         };
         estimator.set_bandwidth(updated);
         self.updates_applied += 1;
+        // One structured event per RMSprop step: the bandwidth trajectory
+        // (paper Figure 8) and the driving gradient, reconstructable from
+        // a trace alone. Field computation is gated on a live builder.
+        let ev = kdesel_telemetry::event("bandwidth.step");
+        if ev.live() {
+            let grad_norm = avg.iter().map(|g| g * g).sum::<f64>().sqrt();
+            ev.u64("step", self.updates_applied)
+                .f64("grad_norm", grad_norm)
+                .f64_slice("h", estimator.bandwidth())
+                .emit();
+        }
         true
     }
 }
@@ -187,19 +198,11 @@ mod tests {
     #[test]
     fn learning_reduces_estimation_error() {
         let sample = clustered_sample(128, 1);
-        let mut estimator = KdeEstimator::new(
-            Device::new(Backend::CpuSeq),
-            &sample,
-            2,
-            KernelFn::Gaussian,
-        );
+        let mut estimator =
+            KdeEstimator::new(Device::new(Backend::CpuSeq), &sample, 2, KernelFn::Gaussian);
         // Error of the untouched Scott model over the same query stream.
-        let mut static_est = KdeEstimator::new(
-            Device::new(Backend::CpuSeq),
-            &sample,
-            2,
-            KernelFn::Gaussian,
-        );
+        let mut static_est =
+            KdeEstimator::new(Device::new(Backend::CpuSeq), &sample, 2, KernelFn::Gaussian);
         let mut no_tuner = AdaptiveTuner::new(2, AdaptiveConfig::default());
         // Zero-learning-rate tuner keeps the bandwidth fixed.
         no_tuner.rmsprop = RmsProp::new(
@@ -228,12 +231,8 @@ mod tests {
     #[test]
     fn updates_only_on_full_mini_batches() {
         let sample = clustered_sample(32, 2);
-        let mut estimator = KdeEstimator::new(
-            Device::new(Backend::CpuSeq),
-            &sample,
-            2,
-            KernelFn::Gaussian,
-        );
+        let mut estimator =
+            KdeEstimator::new(Device::new(Backend::CpuSeq), &sample, 2, KernelFn::Gaussian);
         let mut tuner = AdaptiveTuner::new(2, AdaptiveConfig::default());
         let bw0 = estimator.bandwidth().to_vec();
         let region = Rect::cube(2, -1.0, 1.0);
@@ -269,12 +268,8 @@ mod tests {
     fn bandwidth_stays_positive_under_adversarial_feedback() {
         let sample = clustered_sample(32, 3);
         for log_updates in [true, false] {
-            let mut estimator = KdeEstimator::new(
-                Device::new(Backend::CpuSeq),
-                &sample,
-                2,
-                KernelFn::Gaussian,
-            );
+            let mut estimator =
+                KdeEstimator::new(Device::new(Backend::CpuSeq), &sample, 2, KernelFn::Gaussian);
             let mut tuner = AdaptiveTuner::new(
                 2,
                 AdaptiveConfig {
@@ -299,7 +294,10 @@ mod tests {
                     },
                 );
                 assert!(
-                    estimator.bandwidth().iter().all(|&h| h > 0.0 && h.is_finite()),
+                    estimator
+                        .bandwidth()
+                        .iter()
+                        .all(|&h| h > 0.0 && h.is_finite()),
                     "log={log_updates}: bandwidth {:?}",
                     estimator.bandwidth()
                 );
@@ -311,12 +309,8 @@ mod tests {
     fn linear_mode_halving_guard() {
         // A huge negative delta may at most halve the bandwidth per update.
         let sample = clustered_sample(32, 5);
-        let mut estimator = KdeEstimator::new(
-            Device::new(Backend::CpuSeq),
-            &sample,
-            2,
-            KernelFn::Gaussian,
-        );
+        let mut estimator =
+            KdeEstimator::new(Device::new(Backend::CpuSeq), &sample, 2, KernelFn::Gaussian);
         let mut tuner = AdaptiveTuner::new(
             2,
             AdaptiveConfig {

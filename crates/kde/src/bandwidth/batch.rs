@@ -14,7 +14,6 @@ use crate::loss::LossFunction;
 use kdesel_solver::{multistart, Bounds, LbfgsConfig, MultistartConfig, Objective};
 use kdesel_types::LabelledQuery;
 use rand::Rng;
-use rayon::prelude::*;
 
 /// Batch-optimizer configuration.
 #[derive(Debug, Clone)]
@@ -105,8 +104,7 @@ fn point_value_and_grad(
     match zero_count {
         0 => {
             for i in 0..d {
-                grad[i] =
-                    prod / factors[i] * kernel.range_factor_dh(point[i], lo[i], hi[i], h[i]);
+                grad[i] = prod / factors[i] * kernel.range_factor_dh(point[i], lo[i], hi[i], h[i]);
             }
             prod
         }
@@ -135,10 +133,11 @@ impl BandwidthObjective<'_> {
         let d = self.dims;
         let s = self.sample.len() / d;
         let q = self.queries.len() as f64;
-        let (total_loss, total_grad) = self
-            .queries
-            .par_iter()
-            .map(|query| {
+        let (total_loss, total_grad) = kdesel_par::par_map_combine(
+            self.queries.len(),
+            || (0.0, vec![0.0; d]),
+            |qi| {
+                let query = &self.queries[qi];
                 let lo = query.region.lo();
                 let hi = query.region.hi();
                 let mut factors = vec![0.0; d];
@@ -146,8 +145,15 @@ impl BandwidthObjective<'_> {
                 let mut sum = 0.0;
                 let mut gsum = vec![0.0; d];
                 for point in self.sample.chunks_exact(d) {
-                    sum +=
-                        point_value_and_grad(self.kernel, point, lo, hi, h, &mut factors, &mut pgrad);
+                    sum += point_value_and_grad(
+                        self.kernel,
+                        point,
+                        lo,
+                        hi,
+                        h,
+                        &mut factors,
+                        &mut pgrad,
+                    );
                     for (gs, &g) in gsum.iter_mut().zip(&pgrad) {
                         *gs += g;
                     }
@@ -159,16 +165,14 @@ impl BandwidthObjective<'_> {
                     *g *= lscale;
                 }
                 (lvalue, gsum)
-            })
-            .reduce(
-                || (0.0, vec![0.0; d]),
-                |(la, mut ga), (lb, gb)| {
-                    for (a, b) in ga.iter_mut().zip(&gb) {
-                        *a += b;
-                    }
-                    (la + lb, ga)
-                },
-            );
+            },
+            |(la, mut ga), (lb, gb)| {
+                for (a, b) in ga.iter_mut().zip(&gb) {
+                    *a += b;
+                }
+                (la + lb, ga)
+            },
+        );
         for (o, g) in grad_out.iter_mut().zip(&total_grad) {
             *o = g / q;
         }
@@ -335,12 +339,8 @@ mod tests {
     fn optimization_beats_scott_on_clustered_data() {
         let sample = clustered_sample(128, 2);
         let queries = training_queries(&sample, &sample);
-        let estimator = KdeEstimator::new(
-            Device::new(Backend::CpuSeq),
-            &sample,
-            2,
-            KernelFn::Gaussian,
-        );
+        let estimator =
+            KdeEstimator::new(Device::new(Backend::CpuSeq), &sample, 2, KernelFn::Gaussian);
         let scott = estimator.bandwidth().to_vec();
         let mut rng = StdRng::seed_from_u64(3);
         let result = optimize_bandwidth(&estimator, &queries, &BatchConfig::default(), &mut rng);
@@ -350,13 +350,8 @@ mod tests {
             queries
                 .iter()
                 .map(|q| {
-                    let est = KdeEstimator::estimate_host(
-                        &sample,
-                        2,
-                        h,
-                        KernelFn::Gaussian,
-                        &q.region,
-                    );
+                    let est =
+                        KdeEstimator::estimate_host(&sample, 2, h, KernelFn::Gaussian, &q.region);
                     LossFunction::Quadratic.value(est, q.selectivity)
                 })
                 .sum::<f64>()
@@ -378,12 +373,8 @@ mod tests {
     fn linear_space_also_optimizes() {
         let sample = clustered_sample(64, 4);
         let queries = training_queries(&sample, &sample);
-        let estimator = KdeEstimator::new(
-            Device::new(Backend::CpuSeq),
-            &sample,
-            2,
-            KernelFn::Gaussian,
-        );
+        let estimator =
+            KdeEstimator::new(Device::new(Backend::CpuSeq), &sample, 2, KernelFn::Gaussian);
         let mut rng = StdRng::seed_from_u64(5);
         let cfg = BatchConfig {
             log_space: false,
@@ -398,12 +389,8 @@ mod tests {
     fn deterministic_under_seed() {
         let sample = clustered_sample(64, 6);
         let queries = training_queries(&sample, &sample);
-        let estimator = KdeEstimator::new(
-            Device::new(Backend::CpuSeq),
-            &sample,
-            2,
-            KernelFn::Gaussian,
-        );
+        let estimator =
+            KdeEstimator::new(Device::new(Backend::CpuSeq), &sample, 2, KernelFn::Gaussian);
         let r1 = optimize_bandwidth(
             &estimator,
             &queries,
@@ -459,12 +446,8 @@ mod tests {
     #[should_panic(expected = "empty training workload")]
     fn empty_workload_rejected() {
         let sample = clustered_sample(16, 8);
-        let estimator = KdeEstimator::new(
-            Device::new(Backend::CpuSeq),
-            &sample,
-            2,
-            KernelFn::Gaussian,
-        );
+        let estimator =
+            KdeEstimator::new(Device::new(Backend::CpuSeq), &sample, 2, KernelFn::Gaussian);
         let mut rng = StdRng::seed_from_u64(0);
         optimize_bandwidth(&estimator, &[], &BatchConfig::default(), &mut rng);
     }

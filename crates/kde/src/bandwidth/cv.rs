@@ -25,7 +25,6 @@ use crate::bandwidth::scott::scott_bandwidth;
 use kdesel_math::FRAC_1_SQRT_2PI;
 use kdesel_solver::{multistart, Bounds, LbfgsConfig, MultistartConfig, Objective};
 use rand::Rng;
-use rayon::prelude::*;
 
 /// CV-selector configuration.
 #[derive(Debug, Clone)]
@@ -103,9 +102,10 @@ fn pair_sum(
         })
         .collect();
 
-    let (value, grad_acc) = (0..n)
-        .into_par_iter()
-        .map(|i| {
+    let (value, grad_acc) = kdesel_par::par_map_combine(
+        n,
+        || (0.0, vec![0.0; dims]),
+        |i| {
             let xi = &sample[i * dims..(i + 1) * dims];
             let mut v = 0.0;
             let mut g = vec![0.0; dims];
@@ -137,16 +137,14 @@ fn pair_sum(
                 }
             }
             (v, g)
-        })
-        .reduce(
-            || (0.0, vec![0.0; dims]),
-            |(va, mut ga), (vb, gb)| {
-                for (a, b) in ga.iter_mut().zip(&gb) {
-                    *a += b;
-                }
-                (va + vb, ga)
-            },
-        );
+        },
+        |(va, mut ga), (vb, gb)| {
+            for (a, b) in ga.iter_mut().zip(&gb) {
+                *a += b;
+            }
+            (va + vb, ga)
+        },
+    );
     for (o, g) in grad.iter_mut().zip(&grad_acc) {
         *o = *g;
     }
@@ -314,7 +312,10 @@ pub fn lscv_bandwidth<R: Rng + ?Sized>(
     assert!(sample.len() / dims >= 2, "CV needs at least two points");
     let (data, rescale) = subsample_for_cv(sample, dims, config.max_points, rng);
     let start = scott_bandwidth(&data, dims);
-    let objective = LscvObjective { sample: &data, dims };
+    let objective = LscvObjective {
+        sample: &data,
+        dims,
+    };
     let mut h = minimize_cv(&objective, &start, config, rng);
     for v in &mut h {
         *v *= rescale;
@@ -446,8 +447,18 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(6);
         let h_scv = scv_bandwidth(&sample, 1, &CvConfig::default(), &mut rng);
         let h_lscv = lscv_bandwidth(&sample, 1, &CvConfig::default(), &mut rng);
-        assert!(h_scv[0] < scott[0] * 0.6, "scv {} vs scott {}", h_scv[0], scott[0]);
-        assert!(h_lscv[0] < scott[0] * 0.6, "lscv {} vs scott {}", h_lscv[0], scott[0]);
+        assert!(
+            h_scv[0] < scott[0] * 0.6,
+            "scv {} vs scott {}",
+            h_scv[0],
+            scott[0]
+        );
+        assert!(
+            h_lscv[0] < scott[0] * 0.6,
+            "lscv {} vs scott {}",
+            h_lscv[0],
+            scott[0]
+        );
         // The clusters have unit σ, so the result should be O(cluster σ),
         // not O(separation).
         assert!(h_scv[0] < 2.0);

@@ -29,6 +29,8 @@ pub struct KdeEstimator {
     bandwidth: Vec<f64>,
     /// Contributions of the most recent estimate, retained for maintenance.
     last_contributions: Option<DeviceBuffer>,
+    /// Latency histogram handle, resolved once (hot-path telemetry).
+    estimate_seconds: std::sync::Arc<kdesel_telemetry::Histogram>,
 }
 
 impl KdeEstimator {
@@ -52,6 +54,7 @@ impl KdeEstimator {
             kernel,
             bandwidth,
             last_contributions: None,
+            estimate_seconds: kdesel_telemetry::registry().histogram("kde.estimate_seconds"),
         }
     }
 
@@ -109,6 +112,7 @@ impl KdeEstimator {
     /// Retains the per-point contribution buffer for later maintenance use.
     pub fn estimate(&mut self, region: &Rect) -> f64 {
         assert_eq!(region.dims(), self.dims, "query dimensionality mismatch");
+        let _span = self.estimate_seconds.span();
         // (1) Transfer the query bounds.
         let mut bounds = Vec::with_capacity(2 * self.dims);
         bounds.extend_from_slice(region.lo());
@@ -144,12 +148,13 @@ impl KdeEstimator {
         let lo = region.lo();
         let hi = region.hi();
         // Gradient needs all d factors plus d derivative terms per point.
-        let flops = kernel.flops_per_factor() * (self.dims * 2) as f64 + (self.dims * self.dims) as f64;
-        let partials = self
-            .device
-            .map_rows_multi(&self.sample, self.dims, self.dims, flops, |row, out| {
-                kernel.contribution_gradient(row, lo, hi, bw, out);
-            });
+        let flops =
+            kernel.flops_per_factor() * (self.dims * 2) as f64 + (self.dims * self.dims) as f64;
+        let partials =
+            self.device
+                .map_rows_multi(&self.sample, self.dims, self.dims, flops, |row, out| {
+                    kernel.contribution_gradient(row, lo, hi, bw, out);
+                });
         let mut grad = self.device.reduce_sum_columns(&partials, self.dims);
         let inv_s = 1.0 / self.size as f64;
         for g in &mut grad {
@@ -266,8 +271,7 @@ mod tests {
         let q = Rect::from_intervals(&[(0.1, 0.6), (0.3, 0.9), (0.0, 0.4), (0.5, 1.0)]);
         let mut results = Vec::new();
         for b in [Backend::CpuSeq, Backend::CpuPar, Backend::SimGpu] {
-            let mut e =
-                KdeEstimator::new(Device::new(b), &sample, 4, KernelFn::Gaussian);
+            let mut e = KdeEstimator::new(Device::new(b), &sample, 4, KernelFn::Gaussian);
             results.push((e.estimate(&q), e.estimator_gradient(&q)));
         }
         assert_eq!(results[0], results[1]);
@@ -277,28 +281,17 @@ mod tests {
     #[test]
     fn device_path_matches_host_reference() {
         let sample = uniform_sample(512, 3, 9);
-        let mut e = KdeEstimator::new(
-            Device::new(Backend::SimGpu),
-            &sample,
-            3,
-            KernelFn::Gaussian,
-        );
+        let mut e = KdeEstimator::new(Device::new(Backend::SimGpu), &sample, 3, KernelFn::Gaussian);
         let q = Rect::from_intervals(&[(0.2, 0.8), (0.0, 0.5), (0.4, 0.9)]);
         let dev = e.estimate(&q);
-        let host =
-            KdeEstimator::estimate_host(&sample, 3, e.bandwidth(), KernelFn::Gaussian, &q);
+        let host = KdeEstimator::estimate_host(&sample, 3, e.bandwidth(), KernelFn::Gaussian, &q);
         assert!((dev - host).abs() < 1e-12, "{dev} vs {host}");
     }
 
     #[test]
     fn gradient_matches_finite_differences() {
         let sample = uniform_sample(200, 2, 3);
-        let e = KdeEstimator::new(
-            Device::new(Backend::CpuSeq),
-            &sample,
-            2,
-            KernelFn::Gaussian,
-        );
+        let e = KdeEstimator::new(Device::new(Backend::CpuSeq), &sample, 2, KernelFn::Gaussian);
         let q = Rect::from_intervals(&[(0.3, 0.6), (0.2, 0.9)]);
         let grad = e.estimator_gradient(&q);
         let bw = e.bandwidth().to_vec();
@@ -345,12 +338,7 @@ mod tests {
     #[test]
     fn replace_point_changes_estimates_and_invalidates_contributions() {
         let sample = vec![0.0, 0.0, 0.1, 0.1, 0.2, 0.2, 0.15, 0.05];
-        let mut e = KdeEstimator::new(
-            Device::new(Backend::CpuSeq),
-            &sample,
-            2,
-            KernelFn::Gaussian,
-        );
+        let mut e = KdeEstimator::new(Device::new(Backend::CpuSeq), &sample, 2, KernelFn::Gaussian);
         e.set_bandwidth(vec![0.01, 0.01]);
         let near_origin = Rect::cube(2, -0.5, 0.5);
         let est_before = e.estimate(&near_origin);
@@ -374,7 +362,11 @@ mod tests {
         e.estimate(&Rect::cube(4, 0.0, 0.5));
         let stats1 = e.device().stats();
         assert_eq!(stats1.uploads - stats0.uploads, 1, "one bounds upload");
-        assert_eq!(stats1.downloads - stats0.downloads, 1, "one result download");
+        assert_eq!(
+            stats1.downloads - stats0.downloads,
+            1,
+            "one result download"
+        );
         // Uploaded bytes: 2·d·8 = 64.
         assert_eq!(stats1.bytes_up - stats0.bytes_up, 64);
     }

@@ -256,7 +256,10 @@ mod tests {
                 let i = rng.gen_range(0..n);
                 let c = [sample[i * 2], sample[i * 2 + 1]];
                 let region = Rect::centered(&c, &[0.1, 0.1]);
-                let sel = sample.chunks_exact(2).filter(|r| region.contains(r)).count() as f64
+                let sel = sample
+                    .chunks_exact(2)
+                    .filter(|r| region.contains(r))
+                    .count() as f64
                     / n as f64;
                 LabelledQuery::new(region, sel)
             })
@@ -321,12 +324,8 @@ mod tests {
         let train = labelled_queries(&sample, 50, 5);
         let test = labelled_queries(&sample, 50, 6);
         let mut rng = StdRng::seed_from_u64(7);
-        let mut heuristic = HeuristicKde::new(
-            Device::new(Backend::CpuSeq),
-            &sample,
-            2,
-            KernelFn::Gaussian,
-        );
+        let mut heuristic =
+            HeuristicKde::new(Device::new(Backend::CpuSeq), &sample, 2, KernelFn::Gaussian);
         let mut batch = BatchKde::new(
             Device::new(Backend::CpuSeq),
             &sample,

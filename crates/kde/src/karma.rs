@@ -136,20 +136,26 @@ impl KarmaMaintenance {
             }
         });
         let bitmap = device.download(&flags);
-        bitmap
+        let flagged: Vec<usize> = bitmap
             .iter()
             .enumerate()
             .filter(|(_, &f)| f != 0.0)
             .map(|(i, _)| i)
-            .collect()
+            .collect();
+        if kdesel_telemetry::enabled() {
+            kdesel_telemetry::counter("kde.karma_updates").inc();
+            kdesel_telemetry::counter("kde.karma_flagged").add(flagged.len() as u64);
+        }
+        flagged
     }
 
     /// Resets the Karma of a replaced point (single device write).
     pub fn reset_point(&mut self, estimator: &KdeEstimator, index: usize) {
         assert!(index < self.size);
-        estimator
-            .device()
-            .write_at(&mut self.karma, index, &[0.0]);
+        estimator.device().write_at(&mut self.karma, index, &[0.0]);
+        if kdesel_telemetry::enabled() {
+            kdesel_telemetry::counter("kde.karma_replaced").inc();
+        }
     }
 
     /// Downloads the Karma scores (diagnostics/tests; charges a transfer).
@@ -221,8 +227,8 @@ mod tests {
         let est = e.estimate(&q);
         let contributions = e.device().download(e.last_contributions().unwrap());
         let s = 32.0;
-        for i in 0..32 {
-            let loo = (est * s - contributions[i]) / (s - 1.0);
+        for (i, &contribution) in contributions.iter().enumerate() {
+            let loo = (est * s - contribution) / (s - 1.0);
             // Direct recomputation without point i.
             let mut reduced = sample.clone();
             reduced.drain(i * 2..i * 2 + 2);
@@ -288,14 +294,17 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         for _ in 0..500 {
             let lo = [rng.gen_range(-5.0..5.0), rng.gen_range(-5.0..5.0)];
-            let hi = [lo[0] + rng.gen_range(0.1..4.0), lo[1] + rng.gen_range(0.1..4.0)];
+            let hi = [
+                lo[0] + rng.gen_range(0.1..4.0),
+                lo[1] + rng.gen_range(0.1..4.0),
+            ];
             let bw = [rng.gen_range(0.05..2.0), rng.gen_range(0.05..2.0)];
             let bound = empty_region_bound(&lo, &hi, &bw);
             let point = [rng.gen_range(-8.0..8.0), rng.gen_range(-8.0..8.0)];
             let c = KernelFn::Gaussian.contribution(&point, &lo, &hi, &bw);
             if c >= bound {
-                let inside = (lo[0]..=hi[0]).contains(&point[0])
-                    && (lo[1]..=hi[1]).contains(&point[1]);
+                let inside =
+                    (lo[0]..=hi[0]).contains(&point[0]) && (lo[1]..=hi[1]).contains(&point[1]);
                 assert!(
                     inside,
                     "point {point:?} with contribution {c} ≥ bound {bound} \

@@ -63,12 +63,21 @@ impl KernelFn {
         debug_assert!(h > 0.0);
         match self {
             KernelFn::Gaussian => {
-                let dl = lo - t;
-                let du = hi - t;
                 let h2 = h * h;
-                // (1/(√2·√π·h²)) · [dl·exp(−dl²/2h²) − du·exp(−du²/2h²)]
-                (dl * (-dl * dl / (2.0 * h2)).exp() - du * (-du * du / (2.0 * h2)).exp())
-                    / (SQRT_2 * SQRT_PI * h2)
+                // (1/(√2·√π·h²)) · [dl·exp(−dl²/2h²) − du·exp(−du²/2h²)].
+                // x·e^{−x²/2h²} → 0 as |x| → ∞, but evaluates as ∞·0 = NaN
+                // in floating point — take the limit explicitly so
+                // unbounded query intervals (lo = −∞ / hi = +∞, common for
+                // join predicates that constrain only some columns) get
+                // the correct zero gradient in those dimensions.
+                let term = |d: f64| -> f64 {
+                    if d.is_finite() {
+                        d * (-d * d / (2.0 * h2)).exp()
+                    } else {
+                        0.0
+                    }
+                };
+                (term(lo - t) - term(hi - t)) / (SQRT_2 * SQRT_PI * h2)
             }
             KernelFn::Epanechnikov => {
                 // d/dh [F(clamp(u_hi)) − F(clamp(u_lo))], u = (x−t)/h,

@@ -163,7 +163,11 @@ mod tests {
     fn relative_losses_finite_for_empty_queries() {
         for loss in LossFunction::ALL {
             assert!(loss.value(0.1, 0.0).is_finite(), "{}", loss.name());
-            assert!(loss.dvalue_destimate(0.1, 0.0).is_finite(), "{}", loss.name());
+            assert!(
+                loss.dvalue_destimate(0.1, 0.0).is_finite(),
+                "{}",
+                loss.name()
+            );
             // SquaredQ at (0,0) uses the smoothing constant on both sides.
             assert!(loss.value(0.0, 0.0).is_finite());
         }

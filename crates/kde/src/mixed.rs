@@ -52,7 +52,12 @@ impl MixedKde {
     ///
     /// # Panics
     /// Panics on an empty/ragged sample or a kinds-arity mismatch.
-    pub fn new(sample: &[f64], dims: usize, mut kinds: Vec<AttributeKind>, kernel: KernelFn) -> Self {
+    pub fn new(
+        sample: &[f64],
+        dims: usize,
+        mut kinds: Vec<AttributeKind>,
+        kernel: KernelFn,
+    ) -> Self {
         assert!(dims > 0);
         assert!(!sample.is_empty(), "empty sample");
         assert_eq!(sample.len() % dims, 0, "ragged sample");
@@ -61,8 +66,7 @@ impl MixedKde {
         for (d, kind) in kinds.iter_mut().enumerate() {
             if let AttributeKind::Discrete(cats) = kind {
                 if cats.is_empty() {
-                    let mut vals: Vec<f64> =
-                        sample.iter().skip(d).step_by(dims).copied().collect();
+                    let mut vals: Vec<f64> = sample.iter().skip(d).step_by(dims).copied().collect();
                     vals.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
                     vals.dedup();
                     *cats = vals;
@@ -113,10 +117,7 @@ impl MixedKde {
             }
             AttributeKind::Discrete(cats) => {
                 let max = (cats.len() as f64 - 1.0) / cats.len() as f64;
-                assert!(
-                    (0.0..=max).contains(&value),
-                    "λ {value} outside [0, {max}]"
-                );
+                assert!((0.0..=max).contains(&value), "λ {value} outside [0, {max}]");
             }
         }
         self.params[dim] = value;
@@ -151,14 +152,14 @@ impl MixedKde {
             .chunks_exact(self.dims)
             .map(|point| {
                 let mut p = 1.0;
-                for d in 0..self.dims {
+                for (d, &coord) in point.iter().enumerate() {
                     let (lo, hi) = region.interval(d);
                     p *= match &self.kinds[d] {
                         AttributeKind::Continuous => {
-                            self.kernel.range_factor(point[d], lo, hi, self.params[d])
+                            self.kernel.range_factor(coord, lo, hi, self.params[d])
                         }
                         AttributeKind::Discrete(cats) => {
-                            Self::discrete_factor(cats, point[d], lo, hi, self.params[d])
+                            Self::discrete_factor(cats, coord, lo, hi, self.params[d])
                         }
                     };
                     if p == 0.0 {
@@ -231,11 +232,7 @@ mod tests {
         // Query: category exactly 1, all of the continuous dim.
         let q = Rect::from_intervals(&[(-1e3, 1e3), (0.5, 1.5)]);
         let est = model.estimate(&q);
-        let truth = sample
-            .chunks_exact(2)
-            .filter(|r| r[1] == 1.0)
-            .count() as f64
-            / 400.0;
+        let truth = sample.chunks_exact(2).filter(|r| r[1] == 1.0).count() as f64 / 400.0;
         assert!((est - truth).abs() < 1e-9, "est {est} vs count {truth}");
     }
 
@@ -277,7 +274,11 @@ mod tests {
     fn estimates_are_selectivities() {
         let sample = mixed_sample(300, 5);
         let model = MixedKde::new(&sample, 2, kinds(), KernelFn::Gaussian);
-        for (a, b, c, d) in [(0.0, 10.0, 0.0, 0.0), (-5.0, 200.0, -1.0, 5.0), (40.0, 40.0, 1.0, 1.0)] {
+        for (a, b, c, d) in [
+            (0.0, 10.0, 0.0, 0.0),
+            (-5.0, 200.0, -1.0, 5.0),
+            (40.0, 40.0, 1.0, 1.0),
+        ] {
             let v = model.estimate(&Rect::from_intervals(&[(a, b), (c, d)]));
             assert!((0.0..=1.0).contains(&v));
         }
@@ -320,11 +321,8 @@ mod tests {
             let cat = if i % 2 == 0 { 0.0 } else { 10.0 };
             let c0: f64 = rng.gen_range(10.0..90.0);
             let region = Rect::from_intervals(&[(c0 - 10.0, c0 + 10.0), (cat - 1.0, cat + 1.0)]);
-            let sel = data
-                .chunks_exact(2)
-                .filter(|r| region.contains(r))
-                .count() as f64
-                / rows as f64;
+            let sel =
+                data.chunks_exact(2).filter(|r| region.contains(r)).count() as f64 / rows as f64;
             train.push(LabelledQuery::new(region, sel));
         }
         let result = optimize_bandwidth(&estimator, &train, &BatchConfig::default(), &mut rng);

@@ -3,17 +3,17 @@
 //! A production optimizer keeps its statistics in the catalog (Postgres:
 //! `pg_statistic`) so they survive restarts; the paper's estimator would
 //! live there too. [`ModelSnapshot`] captures everything a KDE model needs
-//! — the sample, the kernel, the bandwidth — in a serde-serializable form;
-//! restoring uploads the sample to a fresh device and reinstates the tuned
-//! bandwidth, skipping both ANALYZE and re-optimization.
+//! — the sample, the kernel, the bandwidth — with a first-party JSON
+//! round-trip (no external serialization crates); restoring uploads the
+//! sample to a fresh device and reinstates the tuned bandwidth, skipping
+//! both ANALYZE and re-optimization.
 
 use crate::estimator::KdeEstimator;
 use crate::kernel::KernelFn;
 use kdesel_device::Device;
-use serde::{Deserialize, Serialize};
 
 /// Serializable snapshot of a KDE model.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ModelSnapshot {
     /// Row-major sample.
     pub sample: Vec<f64>,
@@ -50,6 +50,172 @@ impl ModelSnapshot {
         let mut estimator = KdeEstimator::new(device, &self.sample, self.dims, kernel);
         estimator.set_bandwidth(self.bandwidth.clone());
         estimator
+    }
+
+    /// Serializes the snapshot as one JSON object. Floats use Rust's
+    /// round-trip (`{:?}`) formatting, so `from_json` recovers them
+    /// bit-exactly.
+    pub fn to_json(&self) -> String {
+        fn push_floats(out: &mut String, values: &[f64]) {
+            out.push('[');
+            for (i, v) in values.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("{v:?}"));
+            }
+            out.push(']');
+        }
+        let mut out = String::with_capacity(32 + self.sample.len() * 20);
+        out.push_str("{\"sample\":");
+        push_floats(&mut out, &self.sample);
+        out.push_str(&format!(",\"dims\":{}", self.dims));
+        // Kernel names are identifiers from `KernelFn::name` — no
+        // escaping needed, but reject surprises rather than emit bad JSON.
+        assert!(
+            self.kernel
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_'),
+            "kernel name {:?} is not a plain identifier",
+            self.kernel
+        );
+        out.push_str(&format!(",\"kernel\":\"{}\"", self.kernel));
+        out.push_str(",\"bandwidth\":");
+        push_floats(&mut out, &self.bandwidth);
+        out.push('}');
+        out
+    }
+
+    /// Parses a snapshot serialized by [`ModelSnapshot::to_json`]. Keys
+    /// may appear in any order; unknown keys are an error.
+    pub fn from_json(json: &str) -> Result<Self, String> {
+        let mut p = Parser {
+            bytes: json.as_bytes(),
+            pos: 0,
+        };
+        let mut sample = None;
+        let mut dims = None;
+        let mut kernel = None;
+        let mut bandwidth = None;
+        p.skip_ws();
+        p.expect(b'{')?;
+        loop {
+            p.skip_ws();
+            let key = p.string()?;
+            p.skip_ws();
+            p.expect(b':')?;
+            p.skip_ws();
+            match key.as_str() {
+                "sample" => sample = Some(p.float_array()?),
+                "bandwidth" => bandwidth = Some(p.float_array()?),
+                "dims" => dims = Some(p.number()? as usize),
+                "kernel" => kernel = Some(p.string()?),
+                other => return Err(format!("unknown snapshot key {other:?}")),
+            }
+            p.skip_ws();
+            match p.next()? {
+                b',' => continue,
+                b'}' => break,
+                c => return Err(format!("expected ',' or '}}', found {:?}", c as char)),
+            }
+        }
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err("trailing data after snapshot object".to_string());
+        }
+        Ok(Self {
+            sample: sample.ok_or("missing key \"sample\"")?,
+            dims: dims.ok_or("missing key \"dims\"")?,
+            kernel: kernel.ok_or("missing key \"kernel\"")?,
+            bandwidth: bandwidth.ok_or("missing key \"bandwidth\"")?,
+        })
+    }
+}
+
+/// Minimal parser for the snapshot's own JSON dialect (objects of
+/// strings, integers, and flat float arrays; strings without escapes).
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn next(&mut self) -> Result<u8, String> {
+        let b = *self.bytes.get(self.pos).ok_or("unexpected end of input")?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn expect(&mut self, want: u8) -> Result<(), String> {
+        let got = self.next()?;
+        if got == want {
+            Ok(())
+        } else {
+            Err(format!(
+                "expected {:?}, found {:?}",
+                want as char, got as char
+            ))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let start = self.pos;
+        loop {
+            match self.next()? {
+                b'"' => break,
+                b'\\' => return Err("escapes are not used in snapshots".to_string()),
+                _ => {}
+            }
+        }
+        String::from_utf8(self.bytes[start..self.pos - 1].to_vec())
+            .map_err(|_| "invalid UTF-8 in string".to_string())
+    }
+
+    fn number(&mut self) -> Result<f64, String> {
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| "invalid number".to_string())
+    }
+
+    fn float_array(&mut self) -> Result<Vec<f64>, String> {
+        self.expect(b'[')?;
+        let mut out = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b']') {
+            self.pos += 1;
+            return Ok(out);
+        }
+        loop {
+            self.skip_ws();
+            out.push(self.number()?);
+            self.skip_ws();
+            match self.next()? {
+                b',' => continue,
+                b']' => break,
+                c => return Err(format!("expected ',' or ']', found {:?}", c as char)),
+            }
+        }
+        Ok(out)
     }
 }
 
@@ -90,17 +256,40 @@ mod tests {
     }
 
     #[test]
-    fn snapshot_survives_serde_roundtrip() {
-        // serde-serialize through JSON and back.
+    fn snapshot_survives_json_roundtrip() {
         let original = model();
         let snapshot = ModelSnapshot::of(&original);
-        let json = serde_json::to_string(&snapshot).expect("serialize");
-        let back: ModelSnapshot = serde_json::from_str(&json).expect("deserialize");
+        let json = snapshot.to_json();
+        let back = ModelSnapshot::from_json(&json).expect("deserialize");
         assert_eq!(back, snapshot);
         let mut restored = back.restore(Device::new(Backend::CpuSeq));
         let q = Rect::cube(2, 2.0, 8.0);
         let mut orig = model();
         assert_eq!(restored.estimate(&q), orig.estimate(&q));
+    }
+
+    #[test]
+    fn from_json_accepts_whitespace_and_key_reordering() {
+        let json = r#" { "dims" : 1 , "kernel" : "gaussian" ,
+                         "bandwidth" : [ 0.5 ] , "sample" : [ 1.0 , 2.0 ] } "#;
+        let snap = ModelSnapshot::from_json(json).expect("parse");
+        assert_eq!(snap.dims, 1);
+        assert_eq!(snap.kernel, "gaussian");
+        assert_eq!(snap.bandwidth, vec![0.5]);
+        assert_eq!(snap.sample, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn from_json_rejects_garbage() {
+        for bad in [
+            "",
+            "{",
+            r#"{"dims":1}"#,
+            r#"{"dims":1,"kernel":"gaussian","bandwidth":[],"sample":[]}x"#,
+            r#"{"mystery":3}"#,
+        ] {
+            assert!(ModelSnapshot::from_json(bad).is_err(), "accepted {bad:?}");
+        }
     }
 
     #[test]

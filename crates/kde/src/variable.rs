@@ -78,7 +78,11 @@ impl VariableKde {
         let gmean = log_gmean.exp();
         let factors = pilot
             .iter()
-            .map(|&p| (p / gmean).powf(-ALPHA).clamp(LAMBDA_RANGE.0, LAMBDA_RANGE.1))
+            .map(|&p| {
+                (p / gmean)
+                    .powf(-ALPHA)
+                    .clamp(LAMBDA_RANGE.0, LAMBDA_RANGE.1)
+            })
             .collect();
         Self {
             sample: sample.to_vec(),
@@ -197,7 +201,10 @@ mod tests {
         let sample = spike_and_plateau(600, 2);
         let variable = VariableKde::new(&sample, 1, KernelFn::Gaussian);
         let truth_region = Rect::from_intervals(&[(-0.1, 0.1)]);
-        let truth = sample.iter().filter(|&&x| (-0.1..=0.1).contains(&x)).count() as f64
+        let truth = sample
+            .iter()
+            .filter(|&&x| (-0.1..=0.1).contains(&x))
+            .count() as f64
             / sample.len() as f64;
 
         let fixed = KdeEstimator::estimate_host(

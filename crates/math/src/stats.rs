@@ -291,9 +291,7 @@ mod tests {
             c.add(&[x, 2.0 * x]);
         }
         assert!((c.correlation(0, 1) - 1.0).abs() < 1e-12);
-        assert!(
-            (c.covariance_population(0, 1) - 2.0 * c.variance_population(0)).abs() < 1e-9
-        );
+        assert!((c.covariance_population(0, 1) - 2.0 * c.variance_population(0)).abs() < 1e-9);
         // Symmetric access.
         assert_eq!(c.covariance_population(0, 1), c.covariance_population(1, 0));
     }

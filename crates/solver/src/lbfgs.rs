@@ -66,6 +66,22 @@ pub fn lbfgs<O: Objective>(
     x0: &[f64],
     config: &LbfgsConfig,
 ) -> OptResult {
+    let res = lbfgs_inner(obj, bounds, x0, config);
+    if kdesel_telemetry::enabled() {
+        kdesel_telemetry::counter("solver.lbfgs_iterations").add(res.iterations as u64);
+        if matches!(res.outcome, OptOutcome::LineSearchFailed) {
+            kdesel_telemetry::counter("solver.linesearch_failures").inc();
+        }
+    }
+    res
+}
+
+fn lbfgs_inner<O: Objective>(
+    obj: &O,
+    bounds: &Bounds,
+    x0: &[f64],
+    config: &LbfgsConfig,
+) -> OptResult {
     let n = obj.dims();
     assert_eq!(x0.len(), n);
     assert_eq!(bounds.dims(), n);
@@ -242,7 +258,7 @@ mod tests {
         let res = lbfgs(
             &obj,
             &Bounds::unbounded(10),
-            &vec![0.5; 10],
+            &[0.5; 10],
             &LbfgsConfig {
                 max_iterations: 1000,
                 ..Default::default()

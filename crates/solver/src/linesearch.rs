@@ -48,7 +48,11 @@ pub fn backtracking_projected<O: Objective>(
     let n = x0.len();
     let mut grad = vec![0.0; n];
     for _ in 0..60 {
-        let mut x: Vec<f64> = x0.iter().zip(dir).map(|(&xi, &di)| xi + alpha * di).collect();
+        let mut x: Vec<f64> = x0
+            .iter()
+            .zip(dir)
+            .map(|(&xi, &di)| xi + alpha * di)
+            .collect();
         bounds.project(&mut x);
         // Actual displacement after projection.
         let disp: Vec<f64> = x.iter().zip(x0).map(|(&a, &b)| a - b).collect();
@@ -97,7 +101,11 @@ pub fn strong_wolfe<O: Objective>(
     let n = x0.len();
     let mut evals = 0;
     let phi = |alpha: f64, grad: &mut [f64]| -> (f64, f64) {
-        let x: Vec<f64> = x0.iter().zip(dir).map(|(&xi, &di)| xi + alpha * di).collect();
+        let x: Vec<f64> = x0
+            .iter()
+            .zip(dir)
+            .map(|(&xi, &di)| xi + alpha * di)
+            .collect();
         let f = obj.eval(&x, grad);
         let d = kdesel_math::vecops::dot(grad, dir);
         (f, d)
@@ -119,7 +127,11 @@ pub fn strong_wolfe<O: Objective>(
             break;
         }
         if d.abs() <= -C2 * d0 {
-            let x: Vec<f64> = x0.iter().zip(dir).map(|(&xi, &di)| xi + alpha * di).collect();
+            let x: Vec<f64> = x0
+                .iter()
+                .zip(dir)
+                .map(|(&xi, &di)| xi + alpha * di)
+                .collect();
             return Some(LineSearchResult {
                 alpha,
                 x,
@@ -230,8 +242,7 @@ mod tests {
         let mut g0 = vec![0.0; 2];
         let f0 = obj.eval(&x0, &mut g0);
         let dir: Vec<f64> = g0.iter().map(|&g| -g).collect();
-        let res =
-            backtracking_projected(&obj, &bounds, &x0, f0, &g0, &dir, 1.0).expect("step");
+        let res = backtracking_projected(&obj, &bounds, &x0, f0, &g0, &dir, 1.0).expect("step");
         assert!(res.f < f0);
         assert!(bounds.contains(&res.x));
     }

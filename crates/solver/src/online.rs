@@ -258,7 +258,12 @@ mod tests {
     use super::*;
 
     /// Runs an updater against the 2D quadratic `f(x) = ½‖x − t‖²`.
-    fn run_quadratic<F: FnMut(&[f64]) -> Vec<f64>>(mut step: F, start: [f64; 2], target: [f64; 2], iters: usize) -> [f64; 2] {
+    fn run_quadratic<F: FnMut(&[f64]) -> Vec<f64>>(
+        mut step: F,
+        start: [f64; 2],
+        target: [f64; 2],
+        iters: usize,
+    ) -> [f64; 2] {
         let mut x = start;
         for _ in 0..iters {
             let grad = [x[0] - target[0], x[1] - target[1]];

@@ -133,7 +133,9 @@ impl Table {
     /// Bulk insert of row-major data; returns the ids in order.
     pub fn insert_many(&mut self, rows: &[f64]) -> Vec<RowId> {
         assert_eq!(rows.len() % self.dims, 0, "ragged row data");
-        rows.chunks_exact(self.dims).map(|r| self.insert(r)).collect()
+        rows.chunks_exact(self.dims)
+            .map(|r| self.insert(r))
+            .collect()
     }
 
     /// Deletes the row in `slot`. Returns `false` when the slot is already

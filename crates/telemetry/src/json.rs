@@ -1,0 +1,85 @@
+//! Minimal hand-rolled JSON emission (no serde).
+//!
+//! Only what the JSONL sink needs: string escaping per RFC 8259 and
+//! number formatting where non-finite floats degrade to `null` (JSON
+//! has no NaN/Infinity).
+
+/// Appends `s` as a quoted, escaped JSON string.
+pub fn push_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends `v` as a JSON number, or `null` when non-finite.
+pub fn push_json_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        // `{:?}` round-trips f64 exactly and always includes a decimal
+        // point or exponent, keeping the token unambiguously a float.
+        out.push_str(&format!("{v:?}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn escaped(s: &str) -> String {
+        let mut out = String::new();
+        push_json_string(&mut out, s);
+        out
+    }
+
+    #[test]
+    fn escapes_quotes_backslashes_and_control_chars() {
+        assert_eq!(escaped(r#"a"b"#), r#""a\"b""#);
+        assert_eq!(escaped(r"a\b"), r#""a\\b""#);
+        assert_eq!(escaped("line1\nline2"), r#""line1\nline2""#);
+        assert_eq!(escaped("tab\there"), r#""tab\there""#);
+        assert_eq!(escaped("\r\u{08}\u{0c}"), r#""\r\b\f""#);
+        assert_eq!(escaped("\u{01}"), r#""\u0001""#);
+    }
+
+    #[test]
+    fn passes_unicode_through_unescaped() {
+        assert_eq!(escaped("σ→∞"), "\"σ→∞\"");
+    }
+
+    #[test]
+    fn numbers_round_trip_and_nonfinite_become_null() {
+        let mut out = String::new();
+        push_json_f64(&mut out, 0.1);
+        assert_eq!(out, "0.1");
+        let parsed: f64 = out.parse().unwrap();
+        assert_eq!(parsed, 0.1);
+
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let mut out = String::new();
+            push_json_f64(&mut out, bad);
+            assert_eq!(out, "null");
+        }
+    }
+
+    #[test]
+    fn integral_floats_stay_float_tokens() {
+        let mut out = String::new();
+        push_json_f64(&mut out, 3.0);
+        assert_eq!(out, "3.0");
+    }
+}

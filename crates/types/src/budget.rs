@@ -7,10 +7,8 @@
 //! this port defaults to `f64` but supports `f32` accounting so the original
 //! point counts can be matched exactly.
 
-use serde::{Deserialize, Serialize};
-
 /// Floating-point precision a model stores its state in.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Precision {
     /// 4-byte floats (the paper's evaluation configuration).
     F32,
@@ -29,7 +27,7 @@ impl Precision {
 }
 
 /// A per-estimator memory budget.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MemoryBudget {
     bytes: usize,
 }

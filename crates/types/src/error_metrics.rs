@@ -5,8 +5,6 @@
 //! *reports* errors with the metrics below. Keeping the report-side metrics
 //! here lets every estimator and experiment share one definition.
 
-use serde::{Deserialize, Serialize};
-
 /// Smoothing constant `λ` preventing division by zero in relative metrics
 /// and the Q-error (Appendix C.1, footnote 6). The paper leaves the value
 /// open; we use one tuple's worth of selectivity at the evaluation's typical
@@ -14,7 +12,7 @@ use serde::{Deserialize, Serialize};
 pub const QERROR_SMOOTHING: f64 = 1e-6;
 
 /// A scalar error metric over (estimate, actual) selectivity pairs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ErrorMetric {
     /// `|p̂ − p|` — the paper's headline metric (Figures 4, 5, 6, 8).
     Absolute,

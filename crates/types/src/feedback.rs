@@ -6,10 +6,9 @@
 //! and Karma-based sample maintenance (§4.2).
 
 use crate::rect::Rect;
-use serde::{Deserialize, Serialize};
 
 /// Feedback for one executed range query.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct QueryFeedback {
     /// The queried region `Ω`.
     pub region: Rect,
@@ -58,7 +57,7 @@ impl QueryFeedback {
 /// A labelled training/test query: region plus true selectivity. Used by the
 /// batch bandwidth optimizer (§3.4) where the estimate is recomputed during
 /// optimization and only the ground truth matters.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LabelledQuery {
     /// The queried region `Ω`.
     pub region: Rect,

@@ -6,8 +6,6 @@
 //! estimator (closed-form erf integration, Appendix B) and the STHoles
 //! histogram (bucket boxes).
 
-use serde::{Deserialize, Serialize};
-
 /// An axis-aligned hyper-rectangle in `ℝ^d`.
 ///
 /// Invariant: `lo.len() == hi.len()` and `lo[i] <= hi[i]` for all `i`.
@@ -15,7 +13,7 @@ use serde::{Deserialize, Serialize};
 /// can still contain points on the boundary (containment is closed on both
 /// ends, matching how range predicates `l ≤ x ≤ u` are evaluated by the
 /// storage engine).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Rect {
     lo: Vec<f64>,
     hi: Vec<f64>,
@@ -117,11 +115,7 @@ impl Rect {
 
     /// Volume `∏ (u_i − l_i)`. Zero for degenerate rectangles.
     pub fn volume(&self) -> f64 {
-        self.lo
-            .iter()
-            .zip(&self.hi)
-            .map(|(&l, &u)| u - l)
-            .product()
+        self.lo.iter().zip(&self.hi).map(|(&l, &u)| u - l).product()
     }
 
     /// Closed containment test: `l_i ≤ x_i ≤ u_i` in every dimension.
@@ -137,10 +131,7 @@ impl Rect {
     /// Whether `other` lies entirely inside `self` (closed on both ends).
     pub fn contains_rect(&self, other: &Rect) -> bool {
         debug_assert_eq!(other.dims(), self.dims());
-        self.lo
-            .iter()
-            .zip(&other.lo)
-            .all(|(&a, &b)| a <= b)
+        self.lo.iter().zip(&other.lo).all(|(&a, &b)| a <= b)
             && self.hi.iter().zip(&other.hi).all(|(&a, &b)| b <= a)
     }
 

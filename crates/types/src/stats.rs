@@ -5,10 +5,8 @@
 //! produces the five-number summary those plots are built from, plus the
 //! mean values used in Figures 6 and 8.
 
-use serde::{Deserialize, Serialize};
-
 /// Minimum, lower quartile, median, upper quartile, maximum.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FiveNumberSummary {
     pub min: f64,
     pub q1: f64,
@@ -22,7 +20,7 @@ pub struct FiveNumberSummary {
 /// Observations are stored (experiments collect at most a few thousand), so
 /// exact quantiles are cheap; `mean`/`variance` use a numerically stable
 /// two-pass formulation at query time.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Summary {
     values: Vec<f64>,
 }

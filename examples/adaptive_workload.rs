@@ -37,10 +37,22 @@ fn main() {
 
     let build = BuildConfig::paper_default(2);
     let sample = sampling::sample_rows(&table, build.sample_points(2), &mut rng);
-    let mut heuristic =
-        AnyEstimator::build(EstimatorKind::Heuristic, &table, &sample, &[], &build, &mut rng);
-    let mut adaptive =
-        AnyEstimator::build(EstimatorKind::Adaptive, &table, &sample, &[], &build, &mut rng);
+    let mut heuristic = AnyEstimator::build(
+        EstimatorKind::Heuristic,
+        &table,
+        &sample,
+        &[],
+        &build,
+        &mut rng,
+    );
+    let mut adaptive = AnyEstimator::build(
+        EstimatorKind::Adaptive,
+        &table,
+        &sample,
+        &[],
+        &build,
+        &mut rng,
+    );
 
     println!("cycle  tuples  heuristic_err  adaptive_err");
     for cycle in 0..8 {

@@ -18,7 +18,10 @@ const GRID: usize = 28;
 const SHADES: &[u8] = b" .:-=+*#%@";
 
 fn render(sample: &[f64], bandwidth: &[f64], label: &str) {
-    println!("\n{label}  (h = [{:.2}, {:.2}])", bandwidth[0], bandwidth[1]);
+    println!(
+        "\n{label}  (h = [{:.2}, {:.2}])",
+        bandwidth[0], bandwidth[1]
+    );
     let cell = 100.0 / GRID as f64;
     let mut rows = Vec::new();
     let mut max_p = f64::MIN_POSITIVE;
@@ -64,27 +67,31 @@ fn main() {
     let small: Vec<f64> = scott.iter().map(|h| h / 12.0).collect();
     let large: Vec<f64> = scott.iter().map(|h| h * 12.0).collect();
 
-    render(&sample, &small, "bandwidth too small — overfits the sample (Fig. 2a)");
+    render(
+        &sample,
+        &small,
+        "bandwidth too small — overfits the sample (Fig. 2a)",
+    );
     render(&sample, &scott, "Scott's rule — balanced (Fig. 1d)");
-    render(&sample, &large, "bandwidth too large — loses local structure (Fig. 2b)");
+    render(
+        &sample,
+        &large,
+        "bandwidth too large — loses local structure (Fig. 2b)",
+    );
 
     // Quantify: selectivity of a box centered on one cluster.
     let probe = Rect::from_intervals(&[(19.0, 31.0), (24.0, 36.0)]);
-    let truth = sample
-        .chunks_exact(2)
-        .filter(|r| probe.contains(r))
-        .count() as f64
+    let truth = sample.chunks_exact(2).filter(|r| probe.contains(r)).count() as f64
         / (sample.len() / 2) as f64;
     println!("\nprobe query on the first cluster (true selectivity {truth:.4}):");
     for (label, bw) in [("small", &small), ("scott", &scott), ("large", &large)] {
-        let mut est = KdeEstimator::new(
-            Device::new(Backend::CpuSeq),
-            &sample,
-            2,
-            KernelFn::Gaussian,
-        );
+        let mut est =
+            KdeEstimator::new(Device::new(Backend::CpuSeq), &sample, 2, KernelFn::Gaussian);
         est.set_bandwidth(bw.clone());
         let p = est.estimate(&probe);
-        println!("  {label:>5}: estimate {p:.4}  |error| {:.4}", (p - truth).abs());
+        println!(
+            "  {label:>5}: estimate {p:.4}  |error| {:.4}",
+            (p - truth).abs()
+        );
     }
 }

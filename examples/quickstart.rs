@@ -16,7 +16,11 @@ fn main() {
 
     // 1. A "database": the paper's synthetic clustered dataset, 3D, 50k rows.
     let table = Dataset::Synthetic.generate_projected(3, 50_000, 7);
-    println!("table: {} rows × {} attributes", table.row_count(), table.dims());
+    println!(
+        "table: {} rows × {} attributes",
+        table.row_count(),
+        table.dims()
+    );
 
     // 2. ANALYZE: draw the model's data sample (1024 points, the paper's
     //    d·4 KiB budget at f32 accounting).
@@ -31,7 +35,8 @@ fn main() {
     );
 
     // 4. Two estimators over the *same* sample.
-    let mut heuristic = HeuristicKde::new(Device::new(Backend::CpuPar), &sample, 3, KernelFn::Gaussian);
+    let mut heuristic =
+        HeuristicKde::new(Device::new(Backend::CpuPar), &sample, 3, KernelFn::Gaussian);
     let mut batch = BatchKde::new(
         Device::new(Backend::CpuPar),
         &sample,
@@ -41,10 +46,7 @@ fn main() {
         &BatchConfig::default(),
         &mut rng,
     );
-    println!(
-        "scott bandwidth:     {:?}",
-        heuristic.model().bandwidth()
-    );
+    println!("scott bandwidth:     {:?}", heuristic.model().bandwidth());
     println!(
         "optimized bandwidth: {:?}  (training loss {:.2e})",
         batch.model().bandwidth(),
@@ -68,7 +70,10 @@ fn main() {
     err_b /= test.len() as f64;
     println!("\nmean |error| over {} test queries:", test.len());
     println!("  kde-heuristic: {err_h:.5}");
-    println!("  kde-batch:     {err_b:.5}  ({:.1}x better)", err_h / err_b);
+    println!(
+        "  kde-batch:     {err_b:.5}  ({:.1}x better)",
+        err_h / err_b
+    );
 
     assert!(err_b < err_h, "optimization should beat the heuristic");
 }

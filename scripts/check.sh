@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Full local CI gate: build, tests, lints, formatting. Works offline
+# (the workspace has no external dependencies; --offline keeps cargo
+# from ever touching the network).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run() {
+    echo "=== $* ==="
+    "$@"
+}
+
+run cargo build --release --offline --workspace
+run cargo test -q --offline --workspace
+run cargo clippy --offline --workspace --all-targets -- -D warnings
+run cargo fmt --check --all
+
+echo "=== all checks passed ==="

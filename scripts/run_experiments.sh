@@ -6,7 +6,7 @@
 # pooled Table 1 matrix. The quick pass skips it because fig4/fig5 already
 # print the same matrix per dimensionality; run it explicitly (or with
 # --full) for the pooled version:
-#   cargo run --release -p kdesel-bench --bin table1_winrates
+#   cargo run --release --bin table1_winrates
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -14,11 +14,11 @@ ARGS=("$@")
 run() {
     local name=$1
     echo "=== $name ${ARGS[*]:-} ==="
-    cargo run --release -p kdesel-bench --bin "$name" -- "${ARGS[@]}" \
+    cargo run --release --bin "$name" -- "${ARGS[@]}" \
         | tee "results/$name.txt"
 }
 
-cargo build --release -p kdesel-bench --bins
+cargo build --release --bins
 
 run fig4_static_3d
 run fig6_model_size

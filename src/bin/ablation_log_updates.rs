@@ -23,7 +23,14 @@ fn main() {
         config.rows, config.repetitions, config.queries
     );
     let result = run_log_update_ablation(&config);
-    let mut table = TextTable::new(["dataset", "workload", "rep", "log_error", "linear_error", "log_wins"]);
+    let mut table = TextTable::new([
+        "dataset",
+        "workload",
+        "rep",
+        "log_error",
+        "linear_error",
+        "log_wins",
+    ]);
     for (dataset, workload, rep, log, lin) in &result.experiments {
         table.row([
             dataset.name().to_string(),

@@ -8,11 +8,11 @@
 //! paper's ordering among the original five is unchanged.
 
 use kdesel_bench::{emit, emit_winrates, Cli};
+use kdesel_data::{Dataset, WorkloadKind};
 use kdesel_engine::estimators::EstimatorKind;
 use kdesel_engine::experiments::static_quality::{run_static_cell, StaticCell, StaticConfig};
 use kdesel_engine::experiments::winrate::WinRateMatrix;
 use kdesel_engine::report::{fmt, TextTable};
-use kdesel_data::{Dataset, WorkloadKind};
 
 fn main() {
     let cli = Cli::parse();
@@ -24,7 +24,6 @@ fn main() {
         estimators: EstimatorKind::EXTENDED.to_vec(),
         seed: cli.seed.unwrap_or(0xba5e),
         fast_optimizers: !cli.full,
-        ..Default::default()
     };
     eprintln!(
         "# Extended baselines (rows={} reps={})",
@@ -55,5 +54,9 @@ fn main() {
     }
     emit(&cli, &table);
     println!();
-    emit_winrates(&cli, &matrix, "win rates incl. AVI & sampling baselines (%)");
+    emit_winrates(
+        &cli,
+        &matrix,
+        "win rates incl. AVI & sampling baselines (%)",
+    );
 }

@@ -8,5 +8,9 @@
 use kdesel_bench::{run_static_figure, Cli};
 
 fn main() {
-    run_static_figure(&Cli::parse(), 3, "Figure 4: static estimation quality, 3D datasets");
+    run_static_figure(
+        &Cli::parse(),
+        3,
+        "Figure 4: static estimation quality, 3D datasets",
+    );
 }

@@ -5,5 +5,9 @@
 use kdesel_bench::{run_static_figure, Cli};
 
 fn main() {
-    run_static_figure(&Cli::parse(), 8, "Figure 5: static estimation quality, 8D datasets");
+    run_static_figure(
+        &Cli::parse(),
+        8,
+        "Figure 5: static estimation quality, 8D datasets",
+    );
 }

@@ -19,7 +19,7 @@ fn main() {
         },
         train_queries: if cli.full { 100 } else { 50 },
         test_queries: if cli.full { 100 } else { 50 },
-        seed: cli.seed.unwrap_or(0xf16_6),
+        seed: cli.seed.unwrap_or(0xf166),
         fast_optimizers: !cli.full,
         ..Default::default()
     };
@@ -28,7 +28,14 @@ fn main() {
         config.rows, config.repetitions
     );
     let result = run_scaling(&config);
-    let mut table = TextTable::new(["sample_size", "estimator", "mean_error", "median", "q1", "q3"]);
+    let mut table = TextTable::new([
+        "sample_size",
+        "estimator",
+        "mean_error",
+        "median",
+        "q1",
+        "q3",
+    ]);
     for (si, &size) in result.sample_sizes.iter().enumerate() {
         for (kind, summaries) in &result.series {
             let s = &summaries[si];

@@ -20,7 +20,7 @@ fn main() {
             (10..=17).map(|p| 1usize << p).collect()
         },
         queries: if cli.full { 100 } else { 25 },
-        seed: cli.seed.unwrap_or(0xf17_7),
+        seed: cli.seed.unwrap_or(0xf177),
         ..Default::default()
     };
     eprintln!(

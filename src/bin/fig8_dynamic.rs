@@ -1,0 +1,5 @@
+//! Figure 8 binary — see [`kdesel_bench::fig8`].
+
+fn main() {
+    kdesel_bench::fig8::run();
+}

@@ -36,5 +36,9 @@ fn main() {
             matrix.add_cell(&result);
         }
     }
-    emit_winrates(&cli, &matrix, "Table 1: win rates, all static experiments (%)");
+    emit_winrates(
+        &cli,
+        &matrix,
+        "Table 1: win rates, all static experiments (%)",
+    );
 }

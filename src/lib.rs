@@ -36,6 +36,6 @@ pub use kdesel_storage as storage;
 pub use kdesel_types as types;
 
 pub use kdesel_types::{
-    ErrorMetric, LabelledQuery, MemoryBudget, Precision, QueryFeedback, Rect,
-    SelectivityEstimator, Summary,
+    ErrorMetric, LabelledQuery, MemoryBudget, Precision, QueryFeedback, Rect, SelectivityEstimator,
+    Summary,
 };

@@ -104,8 +104,14 @@ fn modeled_costs_reproduce_figure7_shape() {
     let gpu_large = cost(Backend::SimGpu, 1 << 18);
     let cpu_large = cost(Backend::CpuPar, 1 << 18);
 
-    assert!(gpu_mid / gpu_small < 2.5, "flat region: {gpu_small} -> {gpu_mid}");
-    assert!(gpu_large / gpu_mid > 4.0, "linear region: {gpu_mid} -> {gpu_large}");
+    assert!(
+        gpu_mid / gpu_small < 2.5,
+        "flat region: {gpu_small} -> {gpu_mid}"
+    );
+    assert!(
+        gpu_large / gpu_mid > 4.0,
+        "linear region: {gpu_mid} -> {gpu_large}"
+    );
     let ratio = cpu_large / gpu_large;
     assert!((2.0..7.0).contains(&ratio), "GPU speedup {ratio}");
 }

@@ -87,8 +87,7 @@ fn adaptive_beats_heuristic_on_synthetic() {
             &[EstimatorKind::Heuristic, EstimatorKind::Adaptive],
             seed,
         );
-        if error_of(&errors, EstimatorKind::Adaptive)
-            < error_of(&errors, EstimatorKind::Heuristic)
+        if error_of(&errors, EstimatorKind::Adaptive) < error_of(&errors, EstimatorKind::Heuristic)
         {
             wins += 1;
         }

@@ -22,12 +22,7 @@ fn table_strategy() -> impl Strategy<Value = Table> {
 
 /// Strategy: a random query box over roughly the same domain.
 fn rect_strategy() -> impl Strategy<Value = Rect> {
-    (
-        -10.0f64..110.0,
-        -10.0f64..110.0,
-        0.0f64..60.0,
-        0.0f64..60.0,
-    )
+    (-10.0f64..110.0, -10.0f64..110.0, 0.0f64..60.0, 0.0f64..60.0)
         .prop_map(|(x, y, w, h)| Rect::from_intervals(&[(x, x + w), (y, y + h)]))
 }
 

@@ -9,7 +9,11 @@ use kdesel::Rect;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-fn clustered_table(centers: &[[f64; 2]], per_cluster: usize, seed: u64) -> (Table, Vec<Vec<usize>>) {
+fn clustered_table(
+    centers: &[[f64; 2]],
+    per_cluster: usize,
+    seed: u64,
+) -> (Table, Vec<Vec<usize>>) {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut table = Table::new(2);
     let mut rows = Vec::new();
@@ -31,13 +35,18 @@ fn clustered_table(centers: &[[f64; 2]], per_cluster: usize, seed: u64) -> (Tabl
 /// once queries reveal the region is empty, restoring estimation quality.
 #[test]
 fn karma_recovers_after_bulk_delete() {
-    let (mut table, cluster_rows) =
-        clustered_table(&[[20.0, 20.0], [80.0, 80.0]], 800, 1);
+    let (mut table, cluster_rows) = clustered_table(&[[20.0, 20.0], [80.0, 80.0]], 800, 1);
     let mut rng = StdRng::seed_from_u64(2);
     let build = BuildConfig::paper_default(2);
     let sample = sampling::sample_rows(&table, build.sample_points(2), &mut rng);
-    let mut adaptive =
-        AnyEstimator::build(EstimatorKind::Adaptive, &table, &sample, &[], &build, &mut rng);
+    let mut adaptive = AnyEstimator::build(
+        EstimatorKind::Adaptive,
+        &table,
+        &sample,
+        &[],
+        &build,
+        &mut rng,
+    );
 
     // Delete the first cluster entirely.
     for &row in &cluster_rows[0] {
@@ -69,13 +78,18 @@ fn karma_recovers_after_bulk_delete() {
 /// contrast that motivates §4.2.
 #[test]
 fn heuristic_stays_stale_after_bulk_delete() {
-    let (mut table, cluster_rows) =
-        clustered_table(&[[20.0, 20.0], [80.0, 80.0]], 800, 3);
+    let (mut table, cluster_rows) = clustered_table(&[[20.0, 20.0], [80.0, 80.0]], 800, 3);
     let mut rng = StdRng::seed_from_u64(4);
     let build = BuildConfig::paper_default(2);
     let sample = sampling::sample_rows(&table, build.sample_points(2), &mut rng);
-    let mut heuristic =
-        AnyEstimator::build(EstimatorKind::Heuristic, &table, &sample, &[], &build, &mut rng);
+    let mut heuristic = AnyEstimator::build(
+        EstimatorKind::Heuristic,
+        &table,
+        &sample,
+        &[],
+        &build,
+        &mut rng,
+    );
     for &row in &cluster_rows[0] {
         table.delete(row);
     }
@@ -98,8 +112,14 @@ fn reservoir_tracks_insert_only_growth() {
     let mut rng = StdRng::seed_from_u64(6);
     let build = BuildConfig::paper_default(2);
     let sample = sampling::sample_rows(&table, build.sample_points(2), &mut rng);
-    let mut adaptive =
-        AnyEstimator::build(EstimatorKind::Adaptive, &table, &sample, &[], &build, &mut rng);
+    let mut adaptive = AnyEstimator::build(
+        EstimatorKind::Adaptive,
+        &table,
+        &sample,
+        &[],
+        &build,
+        &mut rng,
+    );
 
     // Insert a new, equally sized cluster far away.
     for _ in 0..1000 {
@@ -123,13 +143,18 @@ fn reservoir_tracks_insert_only_growth() {
 /// STHoles tracks the same churn through feedback-driven refinement.
 #[test]
 fn stholes_adapts_through_feedback() {
-    let (mut table, cluster_rows) =
-        clustered_table(&[[20.0, 20.0], [80.0, 80.0]], 600, 7);
+    let (mut table, cluster_rows) = clustered_table(&[[20.0, 20.0], [80.0, 80.0]], 600, 7);
     let mut rng = StdRng::seed_from_u64(8);
     let build = BuildConfig::paper_default(2);
     let sample = sampling::sample_rows(&table, 64, &mut rng);
-    let mut sth =
-        AnyEstimator::build(EstimatorKind::SthHoles, &table, &sample, &[], &build, &mut rng);
+    let mut sth = AnyEstimator::build(
+        EstimatorKind::SthHoles,
+        &table,
+        &sample,
+        &[],
+        &build,
+        &mut rng,
+    );
     for &row in &cluster_rows[0] {
         table.delete(row);
     }
