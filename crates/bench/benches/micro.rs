@@ -167,6 +167,65 @@ fn bench_loss_gradient(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_fused_vs_unfused(c: &mut Criterion) {
+    // The adaptive tuner's per-query work: estimate + bandwidth gradient.
+    // Fused shares the per-dimension kernel factors (eq. 16) in one sweep;
+    // unfused pays two sweeps recomputing the factors.
+    let dims = 8;
+    let n = 1 << 13;
+    let sample = uniform_sample(n, dims, 8);
+    let mut est = KdeEstimator::new(
+        Device::new(Backend::CpuPar),
+        &sample,
+        dims,
+        KernelFn::Gaussian,
+    );
+    let query = Rect::cube(dims, 20.0, 60.0);
+    let mut g = c.benchmark_group("fusion");
+    g.throughput(Throughput::Elements(n as u64));
+    g.bench_function("fused_estimate_with_gradient_8d_8k", |b| {
+        b.iter(|| black_box(est.estimate_with_gradient(black_box(&query))))
+    });
+    g.bench_function("unfused_estimate_then_gradient_8d_8k", |b| {
+        b.iter(|| {
+            let e = est.estimate(black_box(&query));
+            let grad = est.estimator_gradient(black_box(&query));
+            black_box((e, grad))
+        })
+    });
+    g.finish();
+}
+
+fn bench_batched_vs_looped(c: &mut Criterion) {
+    // The batch optimizer's per-iteration work: evaluate the whole
+    // workload. Batched traverses the sample once for all B queries.
+    let dims = 8;
+    let n = 1 << 13;
+    let batch = 16;
+    let sample = uniform_sample(n, dims, 9);
+    let mut est = KdeEstimator::new(
+        Device::new(Backend::CpuPar),
+        &sample,
+        dims,
+        KernelFn::Gaussian,
+    );
+    let queries: Vec<Rect> = (0..batch)
+        .map(|i| Rect::cube(dims, 10.0 + i as f64, 50.0 + 2.0 * i as f64))
+        .collect();
+    let mut g = c.benchmark_group("batching");
+    g.throughput(Throughput::Elements((n * batch) as u64));
+    g.bench_function("batched_16_queries_8d_8k", |b| {
+        b.iter(|| black_box(est.estimate_batch(black_box(&queries))))
+    });
+    g.bench_function("looped_16_queries_8d_8k", |b| {
+        b.iter(|| {
+            let out: Vec<f64> = queries.iter().map(|q| est.estimate(q)).collect();
+            black_box(out)
+        })
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_erf,
@@ -175,6 +234,8 @@ criterion_group!(
     bench_karma,
     bench_stholes,
     bench_reservoir,
-    bench_loss_gradient
+    bench_loss_gradient,
+    bench_fused_vs_unfused,
+    bench_batched_vs_looped
 );
 criterion_main!(benches);

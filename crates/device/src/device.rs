@@ -40,6 +40,10 @@ pub struct DeviceStats {
     pub bytes_down: u64,
     /// Kernels launched (including reduction passes).
     pub kernels: u64,
+    /// Device-to-device buffer copies issued (no PCIe traffic).
+    pub d2d_copies: u64,
+    /// Bytes duplicated device-to-device.
+    pub bytes_d2d: u64,
 }
 
 #[derive(Debug, Default)]
@@ -53,8 +57,10 @@ struct Timing {
 ///
 /// The handle can only be manipulated through [`Device`] methods, which
 /// charge the appropriate transfer/kernel costs; reading data back requires
-/// an explicit [`Device::download`].
-#[derive(Debug, Clone)]
+/// an explicit [`Device::download`]. Deliberately not `Clone`: duplicating
+/// device memory is a real device operation and must go through
+/// [`Device::copy_buffer`] so the copy is charged.
+#[derive(Debug)]
 pub struct DeviceBuffer {
     data: Vec<f64>,
 }
@@ -86,6 +92,7 @@ struct Meters {
     downloads: Arc<kdesel_telemetry::Counter>,
     bytes_up: Arc<kdesel_telemetry::Counter>,
     bytes_down: Arc<kdesel_telemetry::Counter>,
+    d2d_copies: Arc<kdesel_telemetry::Counter>,
     modeled_us: Arc<kdesel_telemetry::Gauge>,
     measured_us: Arc<kdesel_telemetry::Gauge>,
 }
@@ -99,6 +106,7 @@ impl Meters {
             downloads: r.counter("device.downloads"),
             bytes_up: r.counter("device.bytes_up"),
             bytes_down: r.counter("device.bytes_down"),
+            d2d_copies: r.counter("device.d2d_copies"),
             modeled_us: r.gauge(&format!("device.modeled_us.{}", backend.name())),
             measured_us: r.gauge(&format!("device.measured_us.{}", backend.name())),
         }
@@ -221,6 +229,7 @@ impl Device {
             m.downloads.add(after.downloads - before.downloads);
             m.bytes_up.add(after.bytes_up - before.bytes_up);
             m.bytes_down.add(after.bytes_down - before.bytes_down);
+            m.d2d_copies.add(after.d2d_copies - before.d2d_copies);
             m.modeled_us.add(modeled * 1e6);
             m.measured_us.add(measured * 1e6);
         }
@@ -281,6 +290,78 @@ impl Device {
         )
     }
 
+    /// Duplicates a buffer on-device: one copy kernel, no PCIe traffic.
+    ///
+    /// This is the only way to duplicate device memory —
+    /// [`DeviceBuffer`] is intentionally not `Clone`, so every copy is
+    /// charged (one read + one write per element at device bandwidth).
+    pub fn copy_buffer(&self, buf: &DeviceBuffer) -> DeviceBuffer {
+        let bytes = std::mem::size_of_val(buf.data.as_slice());
+        self.charge(
+            self.cost.kernel(buf.data.len(), 2.0),
+            |s| {
+                s.kernels += 1;
+                s.d2d_copies += 1;
+                s.bytes_d2d += bytes as u64;
+            },
+            || DeviceBuffer {
+                data: buf.data.clone(),
+            },
+        )
+    }
+
+    /// Backend dispatch for a row→scalar map; no cost accounting — shared
+    /// by the charged `map_rows` / `map_rows_reduce` entry points so the
+    /// fused and unfused paths execute bit-identically.
+    fn run_map_rows<F>(&self, buf: &DeviceBuffer, dims: usize, f: F) -> Vec<f64>
+    where
+        F: Fn(&[f64]) -> f64 + Sync,
+    {
+        assert_eq!(buf.data.len() % dims, 0, "ragged device buffer");
+        let rows = buf.data.len() / dims;
+        match self.backend {
+            Backend::CpuSeq => buf.data.chunks_exact(dims).map(&f).collect(),
+            Backend::CpuPar | Backend::SimGpu => {
+                kdesel_par::par_map_collect(rows, |i| f(&buf.data[i * dims..(i + 1) * dims]))
+            }
+        }
+    }
+
+    /// Backend dispatch for a row→`out_width`-values map; no cost
+    /// accounting — shared by `map_rows_multi` / `map_rows_multi_reduce`.
+    fn run_map_rows_multi<F>(
+        &self,
+        buf: &DeviceBuffer,
+        dims: usize,
+        out_width: usize,
+        f: F,
+    ) -> Vec<f64>
+    where
+        F: Fn(&[f64], &mut [f64]) + Sync,
+    {
+        assert_eq!(buf.data.len() % dims, 0, "ragged device buffer");
+        assert!(out_width > 0);
+        let rows = buf.data.len() / dims;
+        let mut data = vec![0.0; rows * out_width];
+        match self.backend {
+            Backend::CpuSeq => {
+                for (row, out) in buf
+                    .data
+                    .chunks_exact(dims)
+                    .zip(data.chunks_exact_mut(out_width))
+                {
+                    f(row, out);
+                }
+            }
+            Backend::CpuPar | Backend::SimGpu => {
+                kdesel_par::par_for_each_row_mut(&mut data, out_width, |i, out| {
+                    f(&buf.data[i * dims..(i + 1) * dims], out)
+                });
+            }
+        }
+        data
+    }
+
     /// Runs a kernel mapping each `dims`-wide row of `buf` to one output
     /// value. `flops_per_row` feeds the cost model.
     ///
@@ -296,22 +377,58 @@ impl Device {
     where
         F: Fn(&[f64]) -> f64 + Sync,
     {
-        assert_eq!(buf.data.len() % dims, 0, "ragged device buffer");
         let rows = buf.data.len() / dims;
         self.charge(
             self.cost.kernel(rows, flops_per_row),
             |s| s.kernels += 1,
+            || DeviceBuffer {
+                data: self.run_map_rows(buf, dims, f),
+            },
+        )
+    }
+
+    /// Fused map + tree-reduce: a single launch maps each `dims`-wide row
+    /// to one value and reduces the values in place, downloading only the
+    /// 8-byte scalar. Bit-identical to `map_rows` followed by
+    /// `reduce_sum` — the pairwise summation order is part of the device
+    /// contract — but costs one kernel instead of three and skips the
+    /// intermediate buffer round-trip.
+    ///
+    /// With `retain`, the per-row map outputs are additionally kept
+    /// device-resident (the retained-contributions side output the Karma
+    /// maintenance path of §5.4 consumes); on a real GPU the map stage
+    /// writes them on the way into the reduction at no extra launch.
+    ///
+    /// # Panics
+    /// Panics if the buffer length is not a multiple of `dims`.
+    pub fn map_rows_reduce<F>(
+        &self,
+        buf: &DeviceBuffer,
+        dims: usize,
+        flops_per_row: f64,
+        retain: bool,
+        f: F,
+    ) -> (f64, Option<DeviceBuffer>)
+    where
+        F: Fn(&[f64]) -> f64 + Sync,
+    {
+        assert_eq!(buf.data.len() % dims, 0, "ragged device buffer");
+        let rows = buf.data.len() / dims;
+        // The reduction's ~4 FLOP/item ride along in the same launch;
+        // only the scalar result crosses PCIe.
+        let modeled = self.cost.kernel(rows, flops_per_row + 4.0)
+            + self.cost.transfer(std::mem::size_of::<f64>());
+        self.charge(
+            modeled,
+            |s| {
+                s.kernels += 1;
+                s.downloads += 1;
+                s.bytes_down += std::mem::size_of::<f64>() as u64;
+            },
             || {
-                let data = match self.backend {
-                    Backend::CpuSeq => buf.data.chunks_exact(dims).map(&f).collect(),
-                    Backend::CpuPar | Backend::SimGpu => {
-                        kdesel_par::par_map_collect(
-                            rows,
-                            |i| f(&buf.data[i * dims..(i + 1) * dims]),
-                        )
-                    }
-                };
-                DeviceBuffer { data }
+                let data = self.run_map_rows(buf, dims, f);
+                let sum = pairwise_sum(&data);
+                (sum, retain.then_some(DeviceBuffer { data }))
             },
         )
     }
@@ -329,33 +446,92 @@ impl Device {
     where
         F: Fn(&[f64], &mut [f64]) + Sync,
     {
-        assert_eq!(buf.data.len() % dims, 0, "ragged device buffer");
-        assert!(out_width > 0);
         let rows = buf.data.len() / dims;
         self.charge(
             self.cost.kernel(rows, flops_per_row),
             |s| s.kernels += 1,
-            || {
-                let mut data = vec![0.0; rows * out_width];
-                match self.backend {
-                    Backend::CpuSeq => {
-                        for (row, out) in buf
-                            .data
-                            .chunks_exact(dims)
-                            .zip(data.chunks_exact_mut(out_width))
-                        {
-                            f(row, out);
-                        }
-                    }
-                    Backend::CpuPar | Backend::SimGpu => {
-                        kdesel_par::par_for_each_row_mut(&mut data, out_width, |i, out| {
-                            f(&buf.data[i * dims..(i + 1) * dims], out)
-                        });
-                    }
-                }
-                DeviceBuffer { data }
+            || DeviceBuffer {
+                data: self.run_map_rows_multi(buf, dims, out_width, f),
             },
         )
+    }
+
+    /// Fused multi-output map + column reduction: a single launch maps
+    /// each `dims`-wide row to `out_width` values and tree-reduces each
+    /// column, downloading the `out_width` column sums. Bit-identical to
+    /// `map_rows_multi` followed by `reduce_sum_columns`, in one kernel
+    /// instead of three — the pattern behind `estimate_with_gradient`
+    /// (eq. 16 shares per-dimension factors between p̂ and ∂p̂/∂h).
+    ///
+    /// With `retain_first`, column 0 of the map output is additionally
+    /// kept device-resident as a contiguous buffer — bitwise equal to
+    /// what `map_rows` would have produced for that output — so the
+    /// Karma path keeps its retained contributions.
+    ///
+    /// # Panics
+    /// Panics if the buffer length is not a multiple of `dims` or
+    /// `out_width` is zero.
+    pub fn map_rows_multi_reduce<F>(
+        &self,
+        buf: &DeviceBuffer,
+        dims: usize,
+        out_width: usize,
+        flops_per_row: f64,
+        retain_first: bool,
+        f: F,
+    ) -> (Vec<f64>, Option<DeviceBuffer>)
+    where
+        F: Fn(&[f64], &mut [f64]) + Sync,
+    {
+        assert_eq!(buf.data.len() % dims, 0, "ragged device buffer");
+        assert!(out_width > 0);
+        let rows = buf.data.len() / dims;
+        let result_bytes = out_width * std::mem::size_of::<f64>();
+        let modeled = self
+            .cost
+            .kernel(rows, flops_per_row + 4.0 * out_width as f64)
+            + self.cost.transfer(result_bytes);
+        self.charge(
+            modeled,
+            |s| {
+                s.kernels += 1;
+                s.downloads += 1;
+                s.bytes_down += result_bytes as u64;
+            },
+            || {
+                let data = self.run_map_rows_multi(buf, dims, out_width, f);
+                let sums = pairwise_sum_columns(&data, out_width);
+                let retained = retain_first.then(|| DeviceBuffer {
+                    data: data.chunks_exact(out_width).map(|row| row[0]).collect(),
+                });
+                (sums, retained)
+            },
+        )
+    }
+
+    /// Fused batched evaluation: one launch maps each row to `batch`
+    /// outputs (one per query rectangle) and column-reduces them,
+    /// returning the `batch` sums. Equivalent to `batch` separate
+    /// `map_rows` + `reduce_sum` round-trips — each sum is bit-identical
+    /// — while amortizing launch latency and the sample traversal
+    /// `batch`-fold and downloading one `batch`-scalar result.
+    ///
+    /// # Panics
+    /// Panics if the buffer length is not a multiple of `dims` or
+    /// `batch` is zero.
+    pub fn map_rows_batch<F>(
+        &self,
+        buf: &DeviceBuffer,
+        dims: usize,
+        batch: usize,
+        flops_per_row: f64,
+        f: F,
+    ) -> Vec<f64>
+    where
+        F: Fn(&[f64], &mut [f64]) + Sync,
+    {
+        self.map_rows_multi_reduce(buf, dims, batch, flops_per_row, false, f)
+            .0
     }
 
     /// Updates each element of `buf` in place from its index and current
@@ -453,16 +629,59 @@ impl Device {
                 s.downloads += 1;
                 s.bytes_down += (width * std::mem::size_of::<f64>()) as u64;
             },
-            || {
-                (0..width)
-                    .map(|c| {
-                        let col: Vec<f64> =
-                            buf.data.iter().skip(c).step_by(width).copied().collect();
-                        pairwise_sum(&col)
-                    })
-                    .collect()
-            },
+            || pairwise_sum_columns(&buf.data, width),
         )
+    }
+}
+
+/// Streaming pairwise accumulator: a binary counter over completed
+/// blocks. Pushing the i-th value merges equal-sized blocks bottom-up,
+/// which reproduces *exactly* the summation tree of the recursive
+/// largest-power-of-two split (the reduction tree layout used by GPU
+/// implementations) without recursion or scratch buffers — the stack
+/// holds at most `log2(n)+1` partial sums.
+#[derive(Clone)]
+struct PairwiseAcc {
+    /// `(partial sum, level)` pairs; a block at level `k` covers `2^k`
+    /// consecutive inputs. Levels are strictly decreasing left to right.
+    stack: Vec<(f64, u32)>,
+}
+
+impl PairwiseAcc {
+    fn new() -> Self {
+        Self { stack: Vec::new() }
+    }
+
+    // The sums below are spelled `left_block + right_block` (not `+=`) so
+    // the code states the tree orientation the bit-identity tests pin.
+    #[allow(clippy::assign_op_pattern)]
+    fn push(&mut self, value: f64) {
+        let mut sum = value;
+        let mut level = 0u32;
+        while let Some(&(top, top_level)) = self.stack.last() {
+            if top_level != level {
+                break;
+            }
+            self.stack.pop();
+            sum = top + sum;
+            level += 1;
+        }
+        self.stack.push((sum, level));
+    }
+
+    #[allow(clippy::assign_op_pattern)]
+    fn finish(&self) -> f64 {
+        // Leftover blocks shrink left to right; folding right-to-left as
+        // `earlier + acc` matches the recursive `sum(left) + sum(right)`
+        // association at every level.
+        let mut blocks = self.stack.iter().rev();
+        let Some(&(mut acc, _)) = blocks.next() else {
+            return 0.0;
+        };
+        for &(block, _) in blocks {
+            acc = block + acc;
+        }
+        acc
     }
 }
 
@@ -470,18 +689,42 @@ impl Device {
 /// scheme and keeps the rounding error at `O(log n)` ulps so all backends
 /// produce identical results regardless of thread count.
 fn pairwise_sum(values: &[f64]) -> f64 {
+    let mut acc = PairwiseAcc::new();
+    for &v in values {
+        acc.push(v);
+    }
+    acc.finish()
+}
+
+/// Pairwise-sums each of `width` interleaved columns in a single blocked
+/// row-major pass (no per-column strided gather). Each column's result is
+/// bit-identical to `pairwise_sum` over that column alone.
+fn pairwise_sum_columns(data: &[f64], width: usize) -> Vec<f64> {
+    let mut accs = vec![PairwiseAcc::new(); width];
+    for row in data.chunks_exact(width) {
+        for (acc, &v) in accs.iter_mut().zip(row) {
+            acc.push(v);
+        }
+    }
+    accs.iter().map(PairwiseAcc::finish).collect()
+}
+
+/// The original recursive formulation, kept as the executable definition
+/// of the summation-tree contract that the iterative [`PairwiseAcc`] must
+/// reproduce bit-for-bit.
+#[cfg(test)]
+fn pairwise_sum_recursive(values: &[f64]) -> f64 {
     match values.len() {
         0 => 0.0,
         1 => values[0],
         2 => values[0] + values[1],
         n => {
-            // Split at the largest power of two below n (the reduction tree
-            // layout used by GPU implementations).
+            // Split at the largest power of two below n.
             let mut split = 1;
             while split * 2 < n {
                 split *= 2;
             }
-            pairwise_sum(&values[..split]) + pairwise_sum(&values[split..])
+            pairwise_sum_recursive(&values[..split]) + pairwise_sum_recursive(&values[split..])
         }
     }
 }
@@ -682,6 +925,122 @@ mod tests {
         let c2m = cost_of(1 << 21);
         assert!(c2k / c256 < 1.5, "not flat: {c256} -> {c2k}");
         assert!((c2m / c1m - 2.0).abs() < 0.2, "not linear: {c1m} -> {c2m}");
+    }
+
+    #[test]
+    fn iterative_pairwise_matches_recursive_tree_exactly() {
+        // Ill-conditioned values of wildly varying magnitude: any change
+        // in association order would change the rounded result.
+        for n in [0usize, 1, 2, 3, 4, 5, 6, 7, 8, 9, 31, 97, 1000, 4097] {
+            let vals: Vec<f64> = (0..n)
+                .map(|i| {
+                    let m = (i as f64 * 0.7391).sin();
+                    m * 10f64.powi((i % 13) as i32 - 6)
+                })
+                .collect();
+            let iterative = pairwise_sum(&vals);
+            let recursive = pairwise_sum_recursive(&vals);
+            assert!(
+                iterative == recursive || (iterative.is_nan() && recursive.is_nan()),
+                "n={n}: {iterative} vs {recursive}"
+            );
+        }
+    }
+
+    #[test]
+    fn blocked_column_sum_matches_per_column_pairwise() {
+        for (rows, width) in [(0usize, 3usize), (1, 4), (97, 3), (4096, 5)] {
+            let data: Vec<f64> = (0..rows * width)
+                .map(|i| (i as f64 * 1.13).cos() * 10f64.powi((i % 9) as i32 - 4))
+                .collect();
+            let blocked = pairwise_sum_columns(&data, width);
+            let reference: Vec<f64> = (0..width)
+                .map(|c| {
+                    let col: Vec<f64> = data.iter().skip(c).step_by(width).copied().collect();
+                    pairwise_sum_recursive(&col)
+                })
+                .collect();
+            assert_eq!(blocked, reference, "rows={rows} width={width}");
+        }
+    }
+
+    #[test]
+    fn fused_map_reduce_is_bit_identical_to_unfused() {
+        let host: Vec<f64> = (0..999).map(|i| (i as f64).sin() * 1e3).collect();
+        for b in BACKENDS {
+            let d = Device::new(b);
+            let buf = d.upload(&host);
+            let f = |row: &[f64]| row[0].mul_add(row[1], row[2].exp().recip());
+            let mapped = d.map_rows(&buf, 3, 10.0, f);
+            let unfused = d.reduce_sum(&mapped);
+            let (fused, retained) = d.map_rows_reduce(&buf, 3, 10.0, true, f);
+            assert_eq!(fused, unfused, "{}", b.name());
+            assert_eq!(
+                d.download(retained.as_ref().unwrap()),
+                d.download(&mapped),
+                "{}",
+                b.name()
+            );
+
+            let g = |row: &[f64], out: &mut [f64]| {
+                out[0] = f(row);
+                out[1] = row[0] - row[1];
+            };
+            let multi = d.map_rows_multi(&buf, 3, 2, 10.0, g);
+            let unfused_cols = d.reduce_sum_columns(&multi, 2);
+            let (fused_cols, first) = d.map_rows_multi_reduce(&buf, 3, 2, 10.0, true, g);
+            assert_eq!(fused_cols, unfused_cols, "{}", b.name());
+            // Retained column 0 is bitwise what `map_rows` would produce.
+            assert_eq!(
+                d.download(first.as_ref().unwrap()),
+                d.download(&mapped),
+                "{}",
+                b.name()
+            );
+            assert_eq!(
+                d.map_rows_batch(&buf, 3, 2, 10.0, g),
+                fused_cols,
+                "{}",
+                b.name()
+            );
+        }
+    }
+
+    #[test]
+    fn fused_paths_charge_one_launch_and_one_download() {
+        let d = Device::new(Backend::SimGpu);
+        let buf = d.upload(&[1.0; 96]);
+        let s0 = d.stats();
+        let _ = d.map_rows_reduce(&buf, 3, 5.0, true, |r| r[0]);
+        let s1 = d.stats();
+        assert_eq!(s1.kernels - s0.kernels, 1);
+        assert_eq!(s1.downloads - s0.downloads, 1);
+        assert_eq!(s1.bytes_down - s0.bytes_down, 8);
+        let _ = d.map_rows_multi_reduce(&buf, 3, 4, 5.0, false, |r, o| o.fill(r[0]));
+        let s2 = d.stats();
+        assert_eq!(s2.kernels - s1.kernels, 1);
+        assert_eq!(s2.downloads - s1.downloads, 1);
+        assert_eq!(s2.bytes_down - s1.bytes_down, 32);
+        // No uploads anywhere in the fused paths.
+        assert_eq!(s2.uploads, s0.uploads);
+    }
+
+    #[test]
+    fn copy_buffer_charges_a_device_to_device_copy() {
+        let d = Device::new(Backend::SimGpu);
+        let buf = d.upload(&[2.0; 64]);
+        let s0 = d.stats();
+        let m0 = d.modeled_seconds();
+        let copy = d.copy_buffer(&buf);
+        let s1 = d.stats();
+        assert_eq!(s1.kernels - s0.kernels, 1);
+        assert_eq!(s1.d2d_copies - s0.d2d_copies, 1);
+        assert_eq!(s1.bytes_d2d - s0.bytes_d2d, 64 * 8);
+        // No PCIe traffic.
+        assert_eq!(s1.uploads, s0.uploads);
+        assert_eq!(s1.downloads, s0.downloads);
+        assert!(d.modeled_seconds() > m0);
+        assert_eq!(d.download(&copy), vec![2.0; 64]);
     }
 
     #[test]

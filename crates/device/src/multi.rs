@@ -100,8 +100,9 @@ impl DeviceGroup {
             if part.is_empty() {
                 continue;
             }
-            let mapped = device.map_rows(part, buffer.dims, flops_per_row, &f);
-            total += device.reduce_sum(&mapped);
+            // Fused map+reduce: one launch per device instead of three.
+            let (sum, _) = device.map_rows_reduce(part, buffer.dims, flops_per_row, false, &f);
+            total += sum;
         }
         total
     }

@@ -81,13 +81,26 @@ impl AdaptiveTuner {
     ///
     /// Returns `true` when a bandwidth update was applied.
     pub fn observe(&mut self, estimator: &mut KdeEstimator, feedback: &QueryFeedback) -> bool {
-        // Gradient of the loss wrt the (linear) bandwidth, eq. 14.
-        let mut grad = estimator.loss_gradient(
-            &feedback.region,
-            feedback.estimate,
-            feedback.actual,
-            self.config.loss,
-        );
+        // Gradient of the loss wrt the (linear) bandwidth, eq. 14:
+        // `∂L/∂h = ∂L/∂p̂ · ∂p̂/∂h`. When the estimate came from the fused
+        // `estimate_with_gradient` sweep (§5.5), `∂p̂/∂h` is already cached
+        // and only the scalar chain factor remains — no second sample
+        // sweep. The fallback recomputes it on the device.
+        let mut grad = match estimator.cached_gradient(&feedback.region) {
+            Some(cached) => {
+                let scale = self
+                    .config
+                    .loss
+                    .dvalue_destimate(feedback.estimate, feedback.actual);
+                cached.iter().map(|g| g * scale).collect()
+            }
+            None => estimator.loss_gradient(
+                &feedback.region,
+                feedback.estimate,
+                feedback.actual,
+                self.config.loss,
+            ),
+        };
         if self.config.log_updates {
             // Eq. 18: ∂L/∂(ln h) = ∂L/∂h · h.
             for (g, &h) in grad.iter_mut().zip(estimator.bandwidth()) {

@@ -7,12 +7,16 @@
 //! default (which also absorbs the positivity constraint). Scott's-rule
 //! bandwidth is always included as a deterministic starting point, so the
 //! optimizer never does worse than the heuristic on the training set.
+//!
+//! The objective runs through the device's fused batched kernel (§5.5-style
+//! batching): one solver iteration is one launch over all workload queries,
+//! not `|workload|` separate estimate/gradient sweeps.
 
 use crate::estimator::KdeEstimator;
-use crate::kernel::KernelFn;
 use crate::loss::LossFunction;
+use kdesel_device::DeviceBuffer;
 use kdesel_solver::{multistart, Bounds, LbfgsConfig, MultistartConfig, Objective};
-use kdesel_types::LabelledQuery;
+use kdesel_types::{LabelledQuery, Rect};
 use rand::Rng;
 
 /// Batch-optimizer configuration.
@@ -62,127 +66,86 @@ pub struct BatchResult {
     pub evaluations: usize,
 }
 
-/// The workload objective of problem (5) over a host-resident sample.
-struct BandwidthObjective<'a> {
-    sample: &'a [f64],
-    dims: usize,
-    kernel: KernelFn,
-    queries: &'a [LabelledQuery],
+/// The workload objective of problem (5), evaluated through the device.
+///
+/// One objective+gradient evaluation is a *single* fused batched launch
+/// ([`KdeEstimator::estimate_batch_with_gradients_at`]) instead of
+/// `|workload|` separate estimate-plus-gradient pairs: the query bounds are
+/// staged on the device once at construction, and each solver iteration
+/// uploads only the candidate bandwidth. Per-query losses and the chain
+/// rule through the loss are folded on the host, which is O(|workload|·d)
+/// scalar work against the O(|sample|·|workload|·d) kernel evaluation.
+pub struct WorkloadObjective<'a> {
+    estimator: &'a KdeEstimator,
+    regions: Vec<Rect>,
+    selectivities: Vec<f64>,
     loss: LossFunction,
     log_space: bool,
+    /// Query rectangles staged device-side once for the whole optimization
+    /// (held so the resident-footprint accounting reflects the staging).
+    _bounds: DeviceBuffer,
 }
 
-/// Fused per-point contribution value + gradient: returns `p̂⁽ʲ⁾(Ω)` and
-/// writes `∂p̂⁽ʲ⁾/∂hᵢ` into `grad`. Zero-factor aware so the common "point
-/// far outside the query" case costs O(d).
-fn point_value_and_grad(
-    kernel: KernelFn,
-    point: &[f64],
-    lo: &[f64],
-    hi: &[f64],
-    h: &[f64],
-    factors: &mut [f64],
-    grad: &mut [f64],
-) -> f64 {
-    let d = point.len();
-    let mut prod = 1.0;
-    let mut zero_count = 0;
-    let mut zero_at = usize::MAX;
-    for j in 0..d {
-        let f = kernel.range_factor(point[j], lo[j], hi[j], h[j]);
-        factors[j] = f;
-        if f == 0.0 {
-            zero_count += 1;
-            zero_at = j;
-            if zero_count > 1 {
-                break;
-            }
-        } else {
-            prod *= f;
+impl<'a> WorkloadObjective<'a> {
+    /// Stages the workload's query bounds on `estimator`'s device and
+    /// builds the objective.
+    ///
+    /// # Panics
+    /// Panics on an empty training workload or query dimensionality
+    /// mismatch.
+    pub fn new(
+        estimator: &'a KdeEstimator,
+        queries: &[LabelledQuery],
+        loss: LossFunction,
+        log_space: bool,
+    ) -> Self {
+        assert!(!queries.is_empty(), "empty training workload");
+        let dims = estimator.dims();
+        for q in queries {
+            assert_eq!(q.region.dims(), dims, "query dimensionality mismatch");
+        }
+        let regions: Vec<Rect> = queries.iter().map(|q| q.region.clone()).collect();
+        let selectivities: Vec<f64> = queries.iter().map(|q| q.selectivity).collect();
+        let bounds = estimator.stage_bounds(&regions);
+        Self {
+            estimator,
+            regions,
+            selectivities,
+            loss,
+            log_space,
+            _bounds: bounds,
         }
     }
-    match zero_count {
-        0 => {
-            for i in 0..d {
-                grad[i] = prod / factors[i] * kernel.range_factor_dh(point[i], lo[i], hi[i], h[i]);
-            }
-            prod
-        }
-        1 => {
-            // Only the zero dimension's derivative survives: ∂/∂h_z may be
-            // nonzero while the contribution itself is zero.
-            for g in grad.iter_mut() {
-                *g = 0.0;
-            }
-            grad[zero_at] =
-                prod * kernel.range_factor_dh(point[zero_at], lo[zero_at], hi[zero_at], h[zero_at]);
-            0.0
-        }
-        _ => {
-            for g in grad.iter_mut() {
-                *g = 0.0;
-            }
-            0.0
-        }
-    }
-}
 
-impl BandwidthObjective<'_> {
     /// Mean loss and its gradient with respect to the *linear* bandwidth.
+    /// One call = one fused batched kernel launch, regardless of workload
+    /// size.
     fn eval_linear(&self, h: &[f64], grad_out: &mut [f64]) -> f64 {
-        let d = self.dims;
-        let s = self.sample.len() / d;
-        let q = self.queries.len() as f64;
-        let (total_loss, total_grad) = kdesel_par::par_map_combine(
-            self.queries.len(),
-            || (0.0, vec![0.0; d]),
-            |qi| {
-                let query = &self.queries[qi];
-                let lo = query.region.lo();
-                let hi = query.region.hi();
-                let mut factors = vec![0.0; d];
-                let mut pgrad = vec![0.0; d];
-                let mut sum = 0.0;
-                let mut gsum = vec![0.0; d];
-                for point in self.sample.chunks_exact(d) {
-                    sum += point_value_and_grad(
-                        self.kernel,
-                        point,
-                        lo,
-                        hi,
-                        h,
-                        &mut factors,
-                        &mut pgrad,
-                    );
-                    for (gs, &g) in gsum.iter_mut().zip(&pgrad) {
-                        *gs += g;
-                    }
-                }
-                let estimate = (sum / s as f64).clamp(0.0, 1.0);
-                let lvalue = self.loss.value(estimate, query.selectivity);
-                let lscale = self.loss.dvalue_destimate(estimate, query.selectivity) / s as f64;
-                for g in gsum.iter_mut() {
-                    *g *= lscale;
-                }
-                (lvalue, gsum)
-            },
-            |(la, mut ga), (lb, gb)| {
-                for (a, b) in ga.iter_mut().zip(&gb) {
-                    *a += b;
-                }
-                (la + lb, ga)
-            },
-        );
-        for (o, g) in grad_out.iter_mut().zip(&total_grad) {
-            *o = g / q;
+        let q = self.regions.len() as f64;
+        let results = self
+            .estimator
+            .estimate_batch_with_gradients_at(h, &self.regions);
+        for g in grad_out.iter_mut() {
+            *g = 0.0;
+        }
+        let mut total_loss = 0.0;
+        for ((estimate, grad), &sel) in results.iter().zip(&self.selectivities) {
+            total_loss += self.loss.value(*estimate, sel);
+            let lscale = self.loss.dvalue_destimate(*estimate, sel);
+            for (o, &g) in grad_out.iter_mut().zip(grad) {
+                *o += lscale * g;
+            }
+        }
+        for o in grad_out.iter_mut() {
+            *o /= q;
         }
         total_loss / q
     }
 }
 
-impl Objective for BandwidthObjective<'_> {
+impl Objective for WorkloadObjective<'_> {
     fn dims(&self) -> usize {
-        self.dims
+        self.estimator.dims()
     }
 
     fn eval(&self, x: &[f64], grad: &mut [f64]) -> f64 {
@@ -212,19 +175,7 @@ pub fn optimize_bandwidth<R: Rng + ?Sized>(
     config: &BatchConfig,
     rng: &mut R,
 ) -> BatchResult {
-    assert!(!queries.is_empty(), "empty training workload");
-    let dims = estimator.dims();
-    for q in queries {
-        assert_eq!(q.region.dims(), dims, "query dimensionality mismatch");
-    }
-    let objective = BandwidthObjective {
-        sample: estimator.host_sample(),
-        dims,
-        kernel: estimator.kernel(),
-        queries,
-        loss: config.loss,
-        log_space: config.log_space,
-    };
+    let objective = WorkloadObjective::new(estimator, queries, config.loss, config.log_space);
     let initial = estimator.bandwidth().to_vec();
 
     let (bounds, start) = if config.log_space {
@@ -261,8 +212,8 @@ pub fn optimize_bandwidth<R: Rng + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::kernel::KernelFn;
     use kdesel_device::{Backend, Device};
-    use kdesel_types::Rect;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -302,15 +253,11 @@ mod tests {
     fn objective_gradient_matches_finite_differences() {
         let sample = clustered_sample(64, 1);
         let queries = training_queries(&sample, &sample);
+        let estimator =
+            KdeEstimator::new(Device::new(Backend::CpuSeq), &sample, 2, KernelFn::Gaussian);
         for log_space in [false, true] {
-            let obj = BandwidthObjective {
-                sample: &sample,
-                dims: 2,
-                kernel: KernelFn::Gaussian,
-                queries: &queries,
-                loss: LossFunction::Quadratic,
-                log_space,
-            };
+            let obj =
+                WorkloadObjective::new(&estimator, &queries, LossFunction::Quadratic, log_space);
             let x = if log_space {
                 vec![0.5f64.ln(), 2.0f64.ln()]
             } else {
@@ -407,39 +354,25 @@ mod tests {
     }
 
     #[test]
-    fn fused_point_grad_matches_kernel_gradient() {
-        let kernel = KernelFn::Gaussian;
-        let point = [0.2, 0.8, -0.4];
-        let lo = [0.0, 0.5, -1.0];
-        let hi = [0.5, 1.5, 0.0];
-        let h = [0.3, 0.7, 1.1];
-        let mut factors = [0.0; 3];
-        let mut fused = [0.0; 3];
-        let v = point_value_and_grad(kernel, &point, &lo, &hi, &h, &mut factors, &mut fused);
-        let mut reference = [0.0; 3];
-        kernel.contribution_gradient(&point, &lo, &hi, &h, &mut reference);
-        let vref = kernel.contribution(&point, &lo, &hi, &h);
-        assert!((v - vref).abs() < 1e-15);
-        for i in 0..3 {
-            assert!((fused[i] - reference[i]).abs() < 1e-12);
-        }
-    }
-
-    #[test]
-    fn fused_point_grad_handles_zero_factors() {
-        // Epanechnikov produces exact zeros outside its support.
-        let kernel = KernelFn::Epanechnikov;
-        let point = [10.0, 0.0];
-        let lo = [0.0, -1.0];
-        let hi = [1.0, 1.0];
-        let h = [0.5, 1.0];
-        let mut factors = [0.0; 2];
-        let mut fused = [0.0; 2];
-        let v = point_value_and_grad(kernel, &point, &lo, &hi, &h, &mut factors, &mut fused);
-        assert_eq!(v, 0.0);
-        let mut reference = [0.0; 2];
-        kernel.contribution_gradient(&point, &lo, &hi, &h, &mut reference);
-        assert_eq!(fused, reference);
+    fn objective_evaluation_is_one_fused_launch_per_iteration() {
+        // ISSUE acceptance: one objective+gradient evaluation performs O(1)
+        // kernel launches instead of O(|workload|).
+        let sample = clustered_sample(64, 9);
+        let queries = training_queries(&sample, &sample);
+        assert!(queries.len() >= 40);
+        let estimator =
+            KdeEstimator::new(Device::new(Backend::SimGpu), &sample, 2, KernelFn::Gaussian);
+        let obj = WorkloadObjective::new(&estimator, &queries, LossFunction::Quadratic, true);
+        let before = estimator.device().stats();
+        let mut grad = vec![0.0; 2];
+        let value = obj.eval(&[0.4f64.ln(), 0.4f64.ln()], &mut grad);
+        assert!(value.is_finite());
+        let after = estimator.device().stats();
+        // One candidate-bandwidth upload, one fused batched kernel, one
+        // download of the per-query sums — independent of |workload|.
+        assert_eq!(after.kernels - before.kernels, 1);
+        assert_eq!(after.uploads - before.uploads, 1);
+        assert_eq!(after.downloads - before.downloads, 1);
     }
 
     #[test]

@@ -78,77 +78,101 @@ struct PairTerm {
     beta: f64,
 }
 
-/// Evaluates `Σ_k coeff_k Σᵢⱼ Π_d φ_{a_k}(u_d)` over pairs `(i, j)` with
-/// `i ≠ j` when `exclude_diagonal`, writing the gradient wrt `h` into
-/// `grad`. Diagonal pairs have `u = 0` and are handled in closed form when
-/// included.
-fn pair_sum(
+/// One independently-accumulated group of [`PairTerm`]s within a fused
+/// multi-group traversal: a group has its own value/gradient accumulators
+/// and its own diagonal policy, so fusing groups into one pass cannot
+/// change any group's summation order.
+struct PairGroup<'t> {
+    /// Addends evaluated for every visited pair.
+    terms: &'t [PairTerm],
+    /// Skip `i == j` pairs for this group only.
+    exclude_diagonal: bool,
+}
+
+/// Evaluates every group's `Σ_k coeff_k Σᵢⱼ Π_d φ_{a_k}(u_d)` and its
+/// gradient wrt `h` in a *single* traversal of the O(n²) pairs, returning
+/// one `(value, gradient)` per group.
+///
+/// Each group keeps separate accumulators and sees pairs in the same
+/// `(i, j, term)` order a dedicated sweep would, so per-group results are
+/// bit-identical with running [`pair_sums`] once per group — that contract
+/// is what lets LSCV fuse its two criterion terms into one pass.
+fn pair_sums(
     sample: &[f64],
     dims: usize,
     h: &[f64],
     pilot: &[f64],
-    terms: &[PairTerm],
-    exclude_diagonal: bool,
-    grad: &mut [f64],
-) -> f64 {
+    groups: &[PairGroup],
+) -> Vec<(f64, Vec<f64>)> {
     let n = sample.len() / dims;
-    // Pre-compute scales per term per dim.
-    let scales: Vec<Vec<f64>> = terms
+    // Pre-compute scales per group per term per dim.
+    let scales: Vec<Vec<Vec<f64>>> = groups
         .iter()
-        .map(|t| {
-            (0..dims)
-                .map(|d| (t.alpha * h[d] * h[d] + t.beta * pilot[d] * pilot[d]).sqrt())
+        .map(|g| {
+            g.terms
+                .iter()
+                .map(|t| {
+                    (0..dims)
+                        .map(|d| (t.alpha * h[d] * h[d] + t.beta * pilot[d] * pilot[d]).sqrt())
+                        .collect()
+                })
                 .collect()
         })
         .collect();
 
-    let (value, grad_acc) = kdesel_par::par_map_combine(
+    kdesel_par::par_map_combine(
         n,
-        || (0.0, vec![0.0; dims]),
+        || {
+            groups
+                .iter()
+                .map(|_| (0.0, vec![0.0; dims]))
+                .collect::<Vec<_>>()
+        },
         |i| {
             let xi = &sample[i * dims..(i + 1) * dims];
-            let mut v = 0.0;
-            let mut g = vec![0.0; dims];
+            let mut out: Vec<(f64, Vec<f64>)> =
+                groups.iter().map(|_| (0.0, vec![0.0; dims])).collect();
             for j in 0..n {
-                if exclude_diagonal && i == j {
-                    continue;
-                }
                 let xj = &sample[j * dims..(j + 1) * dims];
-                for (t, sc) in terms.iter().zip(&scales) {
-                    let mut prod = t.coeff;
-                    for d in 0..dims {
-                        prod *= phi(xi[d] - xj[d], sc[d]);
-                    }
-                    if prod == 0.0 {
+                for ((group, gsc), (v, g)) in groups.iter().zip(&scales).zip(out.iter_mut()) {
+                    if group.exclude_diagonal && i == j {
                         continue;
                     }
-                    v += prod;
-                    for d in 0..dims {
-                        if t.alpha == 0.0 {
-                            continue; // scale independent of h
+                    for (t, sc) in group.terms.iter().zip(gsc) {
+                        let mut prod = t.coeff;
+                        for d in 0..dims {
+                            prod *= phi(xi[d] - xj[d], sc[d]);
                         }
-                        let a = sc[d];
-                        let u = xi[d] - xj[d];
-                        // d/dh_d ln φ_a(u) = (u² − a²)/a³ · da/dh_d,
-                        // da/dh_d = α·h_d / a.
-                        let dlog = (u * u - a * a) / (a * a * a) * (t.alpha * h[d] / a);
-                        g[d] += prod * dlog;
+                        if prod == 0.0 {
+                            continue;
+                        }
+                        *v += prod;
+                        for d in 0..dims {
+                            if t.alpha == 0.0 {
+                                continue; // scale independent of h
+                            }
+                            let a = sc[d];
+                            let u = xi[d] - xj[d];
+                            // d/dh_d ln φ_a(u) = (u² − a²)/a³ · da/dh_d,
+                            // da/dh_d = α·h_d / a.
+                            let dlog = (u * u - a * a) / (a * a * a) * (t.alpha * h[d] / a);
+                            g[d] += prod * dlog;
+                        }
                     }
                 }
             }
-            (v, g)
+            out
         },
-        |(va, mut ga), (vb, gb)| {
-            for (a, b) in ga.iter_mut().zip(&gb) {
-                *a += b;
+        |mut a, b| {
+            for ((va, ga), (vb, gb)) in a.iter_mut().zip(&b) {
+                *va += vb;
+                for (x, y) in ga.iter_mut().zip(gb) {
+                    *x += y;
+                }
             }
-            (va + vb, ga)
+            a
         },
-    );
-    for (o, g) in grad.iter_mut().zip(&grad_acc) {
-        *o = *g;
-    }
-    value
+    )
 }
 
 /// The LSCV criterion as a solver objective over `ln h`.
@@ -168,36 +192,35 @@ impl Objective for LscvObjective<'_> {
         let n = (self.sample.len() / d) as f64;
         let pilot = vec![0.0; d];
 
-        // Term 1: R(p̂) = n⁻² Σᵢⱼ φ_{√2 h}(u) — includes the diagonal.
-        let mut g1 = vec![0.0; d];
-        let t1 = pair_sum(
+        // Both criterion terms in one fused O(n²) traversal:
+        // term 1: R(p̂) = n⁻² Σᵢⱼ φ_{√2 h}(u) — includes the diagonal;
+        // term 2: −2/(n(n−1)) Σ_{i≠j} φ_h(u).
+        let results = pair_sums(
             self.sample,
             d,
             &h,
             &pilot,
-            &[PairTerm {
-                coeff: 1.0,
-                alpha: 2.0,
-                beta: 0.0,
-            }],
-            false,
-            &mut g1,
+            &[
+                PairGroup {
+                    terms: &[PairTerm {
+                        coeff: 1.0,
+                        alpha: 2.0,
+                        beta: 0.0,
+                    }],
+                    exclude_diagonal: false,
+                },
+                PairGroup {
+                    terms: &[PairTerm {
+                        coeff: 1.0,
+                        alpha: 1.0,
+                        beta: 0.0,
+                    }],
+                    exclude_diagonal: true,
+                },
+            ],
         );
-        // Term 2: −2/(n(n−1)) Σ_{i≠j} φ_h(u).
-        let mut g2 = vec![0.0; d];
-        let t2 = pair_sum(
-            self.sample,
-            d,
-            &h,
-            &pilot,
-            &[PairTerm {
-                coeff: 1.0,
-                alpha: 1.0,
-                beta: 0.0,
-            }],
-            true,
-            &mut g2,
-        );
+        let (t1, g1) = &results[0];
+        let (t2, g2) = &results[1];
         let value = t1 / (n * n) - 2.0 * t2 / (n * (n - 1.0));
         for i in 0..d {
             let dh = g1[i] / (n * n) - 2.0 * g2[i] / (n * (n - 1.0));
@@ -246,8 +269,17 @@ impl Objective for ScvObjective<'_> {
                 beta: 2.0,
             },
         ];
-        let mut gsum = vec![0.0; d];
-        let sum = pair_sum(self.sample, d, &h, &self.pilot, &terms, true, &mut gsum);
+        let results = pair_sums(
+            self.sample,
+            d,
+            &h,
+            &self.pilot,
+            &[PairGroup {
+                terms: &terms,
+                exclude_diagonal: true,
+            }],
+        );
+        let (sum, gsum) = &results[0];
         let value = rough + sum / (n * n);
         for i in 0..d {
             let dh = -rough / h[i] + gsum[i] / (n * n);
@@ -421,6 +453,57 @@ mod tests {
                 "dim {i}: fd {fd} vs analytic {}",
                 grad[i]
             );
+        }
+    }
+
+    #[test]
+    fn fused_multi_group_traversal_matches_dedicated_sweeps_bitwise() {
+        // The fusion contract: evaluating several groups in one O(n²) pass
+        // must reproduce each group's dedicated-sweep result bit-exactly.
+        let sample = normal_data(150, 2, 11); // > one par chunk worth of rows
+        let h = [0.4, 0.9];
+        let pilot = [0.7, 0.6];
+        let a = [PairTerm {
+            coeff: 1.0,
+            alpha: 2.0,
+            beta: 0.0,
+        }];
+        let b = [
+            PairTerm {
+                coeff: -2.0,
+                alpha: 1.0,
+                beta: 2.0,
+            },
+            PairTerm {
+                coeff: 1.0,
+                alpha: 0.0,
+                beta: 2.0,
+            },
+        ];
+        let groups = [
+            PairGroup {
+                terms: &a,
+                exclude_diagonal: false,
+            },
+            PairGroup {
+                terms: &b,
+                exclude_diagonal: true,
+            },
+        ];
+        let fused = pair_sums(&sample, 2, &h, &pilot, &groups);
+        for (k, group) in groups.iter().enumerate() {
+            let solo = pair_sums(
+                &sample,
+                2,
+                &h,
+                &pilot,
+                &[PairGroup {
+                    terms: group.terms,
+                    exclude_diagonal: group.exclude_diagonal,
+                }],
+            );
+            assert_eq!(fused[k].0, solo[0].0, "group {k} value");
+            assert_eq!(fused[k].1, solo[0].1, "group {k} gradient");
         }
     }
 

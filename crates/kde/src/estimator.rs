@@ -29,6 +29,10 @@ pub struct KdeEstimator {
     bandwidth: Vec<f64>,
     /// Contributions of the most recent estimate, retained for maintenance.
     last_contributions: Option<DeviceBuffer>,
+    /// Gradient produced by the most recent fused
+    /// [`estimate_with_gradient`](Self::estimate_with_gradient) call,
+    /// keyed by its query region; invalidated when the model changes.
+    last_gradient: Option<(Rect, Vec<f64>)>,
     /// Latency histogram handle, resolved once (hot-path telemetry).
     estimate_seconds: std::sync::Arc<kdesel_telemetry::Histogram>,
 }
@@ -54,6 +58,7 @@ impl KdeEstimator {
             kernel,
             bandwidth,
             last_contributions: None,
+            last_gradient: None,
             estimate_seconds: kdesel_telemetry::registry().histogram("kde.estimate_seconds"),
         }
     }
@@ -90,6 +95,7 @@ impl KdeEstimator {
             "bandwidth must be positive and finite: {bandwidth:?}"
         );
         self.bandwidth = bandwidth;
+        self.last_gradient = None;
     }
 
     /// The device executing this model's kernels.
@@ -109,7 +115,10 @@ impl KdeEstimator {
 
     /// Estimates the selectivity of `region` (paper eq. 2 with eq. 13).
     ///
-    /// Retains the per-point contribution buffer for later maintenance use.
+    /// Fused hot path: one launch computes the per-point contributions and
+    /// tree-reduces them in place; only the query bounds go up and the
+    /// scalar estimate comes down. The contribution buffer stays
+    /// device-resident for later maintenance use (§5.4).
     pub fn estimate(&mut self, region: &Rect) -> f64 {
         assert_eq!(region.dims(), self.dims, "query dimensionality mismatch");
         let _span = self.estimate_seconds.span();
@@ -118,19 +127,166 @@ impl KdeEstimator {
         bounds.extend_from_slice(region.lo());
         bounds.extend_from_slice(region.hi());
         let _bounds_buf = self.device.upload(&bounds);
-        // (2) Per-point contributions.
+        // (2)+(3)+(4) Map, reduce, and download the scalar — one kernel.
         let kernel = self.kernel;
         let bw = &self.bandwidth;
         let lo = region.lo();
         let hi = region.hi();
         let flops = kernel.flops_per_factor() * self.dims as f64;
-        let contributions = self.device.map_rows(&self.sample, self.dims, flops, |row| {
-            kernel.contribution(row, lo, hi, bw)
-        });
-        // (3)+(4) Reduce and download.
-        let sum = self.device.reduce_sum(&contributions);
-        self.last_contributions = Some(contributions);
+        let (sum, contributions) =
+            self.device
+                .map_rows_reduce(&self.sample, self.dims, flops, true, |row| {
+                    kernel.contribution(row, lo, hi, bw)
+                });
+        self.last_contributions = contributions;
         (sum / self.size as f64).clamp(0.0, 1.0)
+    }
+
+    /// Fused estimate + bandwidth gradient (§5.5): one launch produces
+    /// both `p̂_H(Ω)` and `∂p̂_H(Ω)/∂h`, sharing the per-dimension kernel
+    /// factors between the two outputs (eq. 16). Bit-identical to calling
+    /// [`estimate`](Self::estimate) and
+    /// [`estimator_gradient`](Self::estimator_gradient) separately, in
+    /// half the sample sweeps. Retains the contribution buffer exactly as
+    /// `estimate` does and caches the gradient for
+    /// [`cached_gradient`](Self::cached_gradient), so a feedback-driven
+    /// tuner pays no second sweep.
+    pub fn estimate_with_gradient(&mut self, region: &Rect) -> (f64, Vec<f64>) {
+        assert_eq!(region.dims(), self.dims, "query dimensionality mismatch");
+        let _span = self.estimate_seconds.span();
+        let mut bounds = Vec::with_capacity(2 * self.dims);
+        bounds.extend_from_slice(region.lo());
+        bounds.extend_from_slice(region.hi());
+        let _bounds_buf = self.device.upload(&bounds);
+        let kernel = self.kernel;
+        let bw = &self.bandwidth;
+        let lo = region.lo();
+        let hi = region.hi();
+        let d = self.dims;
+        let flops = kernel.flops_per_factor() * (d * 2) as f64 + (d * d) as f64;
+        let (sums, contributions) =
+            self.device
+                .map_rows_multi_reduce(&self.sample, d, 1 + d, flops, true, |row, out| {
+                    let (value, grad) = out.split_first_mut().unwrap();
+                    *value = kernel.contribution_with_gradient(row, lo, hi, bw, grad);
+                });
+        self.last_contributions = contributions;
+        let estimate = (sums[0] / self.size as f64).clamp(0.0, 1.0);
+        let inv_s = 1.0 / self.size as f64;
+        let grad: Vec<f64> = sums[1..].iter().map(|g| g * inv_s).collect();
+        self.last_gradient = Some((region.clone(), grad.clone()));
+        (estimate, grad)
+    }
+
+    /// The estimator gradient cached by the most recent
+    /// [`estimate_with_gradient`](Self::estimate_with_gradient) call, if
+    /// it was for the same `region` and the model has not changed since
+    /// (a bandwidth update or sample-point replacement invalidates it).
+    pub fn cached_gradient(&self, region: &Rect) -> Option<&[f64]> {
+        match &self.last_gradient {
+            Some((r, g)) if r == region => Some(g),
+            _ => None,
+        }
+    }
+
+    /// Estimates the selectivity of every region in one fused launch: the
+    /// query bounds travel in a single upload, the sample is traversed
+    /// once for all `B` queries, and one `B`-scalar download returns the
+    /// sums. Each estimate is bit-identical to a separate
+    /// [`estimate`](Self::estimate) call. Does not retain contributions —
+    /// the batched path serves optimizers and bulk evaluation, not the
+    /// per-query Karma feedback loop.
+    pub fn estimate_batch(&self, regions: &[Rect]) -> Vec<f64> {
+        if regions.is_empty() {
+            return Vec::new();
+        }
+        for r in regions {
+            assert_eq!(r.dims(), self.dims, "query dimensionality mismatch");
+        }
+        let _span = self.estimate_seconds.span();
+        let _bounds_buf = self.stage_bounds(regions);
+        let kernel = self.kernel;
+        let bw = &self.bandwidth;
+        let b = regions.len();
+        let flops = kernel.flops_per_factor() * self.dims as f64 * b as f64;
+        let sums = self
+            .device
+            .map_rows_batch(&self.sample, self.dims, b, flops, |row, out| {
+                for (r, o) in regions.iter().zip(out.iter_mut()) {
+                    *o = kernel.contribution(row, r.lo(), r.hi(), bw);
+                }
+            });
+        sums.iter()
+            .map(|sum| (sum / self.size as f64).clamp(0.0, 1.0))
+            .collect()
+    }
+
+    /// Uploads a workload's query bounds in one transfer — the staging
+    /// step for repeated
+    /// [`estimate_batch_with_gradients_at`](Self::estimate_batch_with_gradients_at)
+    /// calls, whose bounds never change across solver iterations.
+    pub fn stage_bounds(&self, regions: &[Rect]) -> DeviceBuffer {
+        let mut bounds = Vec::with_capacity(2 * self.dims * regions.len());
+        for r in regions {
+            bounds.extend_from_slice(r.lo());
+            bounds.extend_from_slice(r.hi());
+        }
+        self.device.upload(&bounds)
+    }
+
+    /// Batched objective evaluation for the bandwidth optimizers: one
+    /// fused launch evaluates — at the *candidate* bandwidth `bandwidth`,
+    /// not the model's current one — the estimate and its bandwidth
+    /// gradient for every region, sharing each per-dimension kernel
+    /// factor between the two outputs (eq. 16). Only the candidate
+    /// bandwidth crosses PCIe per call (stage the bounds once with
+    /// [`stage_bounds`](Self::stage_bounds)), and one `B·(1+d)`-scalar
+    /// download returns the reduced sums — so a solver iteration costs
+    /// O(1) kernel launches regardless of the workload size. Each
+    /// per-query result is bit-identical to what
+    /// [`estimate`](Self::estimate) /
+    /// [`estimator_gradient`](Self::estimator_gradient) would return with
+    /// the model's bandwidth set to `bandwidth`.
+    pub fn estimate_batch_with_gradients_at(
+        &self,
+        bandwidth: &[f64],
+        regions: &[Rect],
+    ) -> Vec<(f64, Vec<f64>)> {
+        assert_eq!(bandwidth.len(), self.dims);
+        if regions.is_empty() {
+            return Vec::new();
+        }
+        for r in regions {
+            assert_eq!(r.dims(), self.dims, "query dimensionality mismatch");
+        }
+        let _h_buf = self.device.upload(bandwidth);
+        let kernel = self.kernel;
+        let d = self.dims;
+        let b = regions.len();
+        let width = 1 + d;
+        let flops = (kernel.flops_per_factor() * (d * 2) as f64 + (d * d) as f64) * b as f64;
+        let (sums, _) = self.device.map_rows_multi_reduce(
+            &self.sample,
+            d,
+            b * width,
+            flops,
+            false,
+            |row, out| {
+                for (r, o) in regions.iter().zip(out.chunks_exact_mut(width)) {
+                    let (value, grad) = o.split_first_mut().unwrap();
+                    *value =
+                        kernel.contribution_with_gradient(row, r.lo(), r.hi(), bandwidth, grad);
+                }
+            },
+        );
+        let inv_s = 1.0 / self.size as f64;
+        sums.chunks_exact(width)
+            .map(|chunk| {
+                let estimate = (chunk[0] / self.size as f64).clamp(0.0, 1.0);
+                let grad: Vec<f64> = chunk[1..].iter().map(|g| g * inv_s).collect();
+                (estimate, grad)
+            })
+            .collect()
     }
 
     /// The retained contribution buffer of the most recent estimate.
@@ -141,6 +297,11 @@ impl KdeEstimator {
     /// Gradient of the estimator with respect to the bandwidth,
     /// `∂p̂_H(Ω)/∂h` (paper eqs. 15-17). Computed on the device, parallel
     /// over sample points, reduced per dimension.
+    ///
+    /// This is the *unfused* reference path (separate map and column
+    /// reduction); the hot paths use
+    /// [`estimate_with_gradient`](Self::estimate_with_gradient), which is
+    /// asserted bit-identical to it.
     pub fn estimator_gradient(&self, region: &Rect) -> Vec<f64> {
         assert_eq!(region.dims(), self.dims);
         let kernel = self.kernel;
@@ -194,6 +355,7 @@ impl KdeEstimator {
         self.device.write_at(&mut self.sample, offset, row);
         self.host_sample[offset..offset + self.dims].copy_from_slice(row);
         self.last_contributions = None;
+        self.last_gradient = None;
     }
 
     /// Model memory footprint: the sample buffer plus the bandwidth vector
@@ -369,6 +531,119 @@ mod tests {
         );
         // Uploaded bytes: 2·d·8 = 64.
         assert_eq!(stats1.bytes_up - stats0.bytes_up, 64);
+    }
+
+    #[test]
+    fn fused_estimate_with_gradient_is_bit_identical_to_separate_calls() {
+        let sample = uniform_sample(700, 3, 11);
+        let queries = [
+            Rect::from_intervals(&[(0.1, 0.6), (0.3, 0.9), (0.0, 0.4)]),
+            Rect::from_intervals(&[(-0.2, 0.2), (0.5, 1.5), (0.1, 0.3)]),
+        ];
+        for b in [Backend::CpuSeq, Backend::CpuPar, Backend::SimGpu] {
+            let mut e = KdeEstimator::new(Device::new(b), &sample, 3, KernelFn::Gaussian);
+            for q in &queries {
+                let est = e.estimate(q);
+                let grad = e.estimator_gradient(q);
+                let retained = e.device().download(e.last_contributions().unwrap());
+                let (fused_est, fused_grad) = e.estimate_with_gradient(q);
+                assert_eq!(fused_est, est, "{}", b.name());
+                assert_eq!(fused_grad, grad, "{}", b.name());
+                // The fused path retains the same contribution buffer.
+                let fused_retained = e.device().download(e.last_contributions().unwrap());
+                assert_eq!(fused_retained, retained, "{}", b.name());
+            }
+        }
+    }
+
+    #[test]
+    fn batched_estimates_match_per_query_estimates_bitwise() {
+        let sample = uniform_sample(600, 2, 13);
+        let regions: Vec<Rect> = (0..7)
+            .map(|i| {
+                let a = i as f64 * 0.1;
+                Rect::from_intervals(&[(a, a + 0.4), (0.2 - a, 1.0)])
+            })
+            .collect();
+        for b in [Backend::CpuSeq, Backend::CpuPar, Backend::SimGpu] {
+            let mut e = KdeEstimator::new(Device::new(b), &sample, 2, KernelFn::Gaussian);
+            let batched = e.estimate_batch(&regions);
+            let looped: Vec<f64> = regions.iter().map(|q| e.estimate(q)).collect();
+            assert_eq!(batched, looped, "{}", b.name());
+        }
+    }
+
+    #[test]
+    fn batched_gradients_match_per_query_paths_bitwise() {
+        let sample = uniform_sample(300, 2, 17);
+        let regions: Vec<Rect> = (0..5)
+            .map(|i| {
+                let a = i as f64 * 0.15;
+                Rect::from_intervals(&[(a, a + 0.5), (0.0, 0.6 + a)])
+            })
+            .collect();
+        let candidate = vec![0.21, 0.34];
+        for b in [Backend::CpuSeq, Backend::CpuPar, Backend::SimGpu] {
+            let mut e = KdeEstimator::new(Device::new(b), &sample, 2, KernelFn::Gaussian);
+            let batched = e.estimate_batch_with_gradients_at(&candidate, &regions);
+            e.set_bandwidth(candidate.clone());
+            for (q, (est, grad)) in regions.iter().zip(&batched) {
+                assert_eq!(*est, e.estimate(q), "{}", b.name());
+                assert_eq!(*grad, e.estimator_gradient(q), "{}", b.name());
+            }
+        }
+    }
+
+    #[test]
+    fn fused_estimate_with_gradient_uses_one_kernel_and_one_download() {
+        let mut e = make(Backend::SimGpu, 1024, 4);
+        let q = Rect::cube(4, 0.1, 0.7);
+        let s0 = e.device().stats();
+        let _ = e.estimate_with_gradient(&q);
+        let s1 = e.device().stats();
+        assert_eq!(s1.kernels - s0.kernels, 1, "one fused launch");
+        assert_eq!(s1.uploads - s0.uploads, 1, "one bounds upload");
+        assert_eq!(s1.downloads - s0.downloads, 1, "one result download");
+        // (1+d)·8 = 40 bytes come back: the estimate and the gradient.
+        assert_eq!(s1.bytes_down - s0.bytes_down, 40);
+    }
+
+    #[test]
+    fn batched_objective_evaluation_uses_constant_launches() {
+        let e = make(Backend::SimGpu, 512, 3);
+        let regions: Vec<Rect> = (0..24)
+            .map(|i| Rect::cube(3, 0.01 * i as f64, 0.5 + 0.01 * i as f64))
+            .collect();
+        let _bounds = e.stage_bounds(&regions);
+        let s0 = e.device().stats();
+        let _ = e.estimate_batch_with_gradients_at(&[0.2, 0.2, 0.2], &regions);
+        let s1 = e.device().stats();
+        // O(1) in |workload|: one bandwidth upload, one fused kernel, one
+        // download of the 24·(1+3) reduced sums.
+        assert_eq!(s1.kernels - s0.kernels, 1);
+        assert_eq!(s1.uploads - s0.uploads, 1);
+        assert_eq!(s1.downloads - s0.downloads, 1);
+        assert_eq!(s1.bytes_down - s0.bytes_down, 24 * 4 * 8);
+        // And the single-shot batched estimate is also one launch.
+        let _ = e.estimate_batch(&regions);
+        let s2 = e.device().stats();
+        assert_eq!(s2.kernels - s1.kernels, 1);
+    }
+
+    #[test]
+    fn gradient_cache_hits_same_region_and_invalidates_on_change() {
+        let mut e = make(Backend::CpuSeq, 128, 2);
+        let q = Rect::from_intervals(&[(0.1, 0.5), (0.2, 0.8)]);
+        assert!(e.cached_gradient(&q).is_none());
+        let (_, grad) = e.estimate_with_gradient(&q);
+        assert_eq!(e.cached_gradient(&q).unwrap(), grad.as_slice());
+        let other = Rect::from_intervals(&[(0.0, 0.5), (0.2, 0.8)]);
+        assert!(e.cached_gradient(&other).is_none());
+        e.set_bandwidth(vec![0.3, 0.3]);
+        assert!(e.cached_gradient(&q).is_none(), "bandwidth change");
+        let (_, _) = e.estimate_with_gradient(&q);
+        e.replace_point(0, &[0.5, 0.5]);
+        assert!(e.cached_gradient(&q).is_none(), "sample change");
     }
 
     #[test]

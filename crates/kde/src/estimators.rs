@@ -213,7 +213,11 @@ impl AdaptiveKde {
 
 impl SelectivityEstimator for AdaptiveKde {
     fn estimate(&mut self, region: &Rect) -> f64 {
-        self.inner.estimate(region)
+        // Fused sweep (§5.5): the adaptive estimator always needs the
+        // bandwidth gradient for the upcoming feedback, so one launch
+        // computes p̂ and caches ∂p̂/∂h — `observe` then pays no second
+        // sample sweep.
+        self.inner.estimate_with_gradient(region).0
     }
 
     fn observe(&mut self, feedback: &QueryFeedback) {
@@ -373,6 +377,37 @@ mod tests {
         adaptive.replace_point(31, &[0.5, 0.5]);
         let est_after = adaptive.estimate(&region);
         assert!(est_after < est, "estimate should drop after replacement");
+    }
+
+    #[test]
+    fn adaptive_feedback_cycle_is_one_fused_sample_sweep() {
+        let sample = uniform_sample(64, 10);
+        let mut adaptive = AdaptiveKde::new(
+            Device::new(Backend::SimGpu),
+            &sample,
+            2,
+            KernelFn::Gaussian,
+            AdaptiveConfig::default(),
+            KarmaConfig::default(),
+        );
+        let region = Rect::from_intervals(&[(0.1, 0.6), (0.2, 0.7)]);
+        let s0 = adaptive.model().device().stats();
+        let est = adaptive.estimate(&region);
+        let s_est = adaptive.model().device().stats();
+        adaptive.observe(&QueryFeedback {
+            region: region.clone(),
+            estimate: est,
+            actual: 0.3,
+            cardinality: 0,
+        });
+        let s1 = adaptive.model().device().stats();
+        // The estimate is ONE fused launch producing both p̂ and ∂p̂/∂h
+        // (down from the two separate sweeps of the unfused path)…
+        assert_eq!(s_est.kernels - s0.kernels, 1, "fused estimate+gradient");
+        // …and the feedback step adds only Karma's two passes — the tuner
+        // reuses the cached gradient instead of re-traversing the sample.
+        assert_eq!(s1.kernels - s_est.kernels, 2, "karma accumulate + flag");
+        assert_eq!(s1.downloads - s_est.downloads, 1, "flag bitmap");
     }
 
     #[test]

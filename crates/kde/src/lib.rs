@@ -32,7 +32,7 @@ pub mod persist;
 pub mod variable;
 
 pub use bandwidth::adaptive::{AdaptiveConfig, AdaptiveTuner};
-pub use bandwidth::batch::{optimize_bandwidth, BatchConfig};
+pub use bandwidth::batch::{optimize_bandwidth, BatchConfig, WorkloadObjective};
 pub use bandwidth::cv::{lscv_bandwidth, scv_bandwidth, CvConfig};
 pub use bandwidth::scott::scott_bandwidth;
 pub use estimator::KdeEstimator;

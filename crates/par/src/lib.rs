@@ -15,6 +15,15 @@
 //! [`PARALLEL_THRESHOLD`] items the helpers run inline, so the kernel
 //! launch overhead modeled by `kdesel-device` is not drowned in real
 //! thread overhead on the hot small-query path.
+//!
+//! The device layer's *fused* kernels (`map_rows_reduce`,
+//! `map_rows_multi_reduce`, `map_rows_batch`) lean on the same guarantee
+//! from the other direction: because `par_map_collect` /
+//! `par_for_each_row_mut` place every output at its input index
+//! regardless of scheduling, a fused launch feeds the pairwise reduction
+//! the exact element order the unfused two-launch path would — which is
+//! what makes fused-vs-unfused bit-identity a structural property rather
+//! than a numerical accident.
 
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};

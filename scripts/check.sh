@@ -15,4 +15,11 @@ run cargo test -q --offline --workspace
 run cargo clippy --offline --workspace --all-targets -- -D warnings
 run cargo fmt --check --all
 
+# Optional perf gate: PERF_SMOKE=1 scripts/check.sh additionally runs the
+# fusion microbench and fails on a >2x modeled-cost regression of the
+# estimate hot path (see scripts/perf_smoke.sh).
+if [[ "${PERF_SMOKE:-0}" == "1" ]]; then
+    run scripts/perf_smoke.sh
+fi
+
 echo "=== all checks passed ==="

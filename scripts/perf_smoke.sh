@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Perf smoke test: runs the fusion microbench in quick mode and fails when
+# the modeled cost of the fused estimate hot path regresses by more than 2x
+# against the checked-in baseline (BENCH_fusion.json). Modeled seconds come
+# from the deterministic device cost model, so the gate is immune to
+# machine noise — it only trips when the launch/flop structure of the hot
+# path actually changes.
+#
+# Usage: scripts/perf_smoke.sh
+# Refresh the baseline by running `cargo run --release --bin bench_fusion`
+# from the repo root (writes BENCH_fusion.json) and committing the result.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline --bin bench_fusion
+out=$(mktemp /tmp/bench_fusion.XXXXXX.json)
+trap 'rm -f "$out"' EXIT
+BENCH_FUSION_BASELINE=BENCH_fusion.json BENCH_FUSION_OUT="$out" \
+    ./target/release/bench_fusion
+echo "=== perf smoke passed ==="

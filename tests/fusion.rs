@@ -1,0 +1,126 @@
+//! Fusion and batching invariants (device fused map-reduce layer).
+//!
+//! The fused single-launch paths (`estimate_with_gradient`,
+//! `estimate_batch`) are pure performance rewrites of the separate-call
+//! paths: every backend must produce *bit-identical* results either way,
+//! and the fused paths must actually collapse the launch counts they claim
+//! to (pinned against `DeviceStats` on the simulated GPU).
+
+use kdesel::device::{Backend, Device};
+use kdesel::kde::{KdeEstimator, KernelFn};
+use kdesel::Rect;
+use proptest::prelude::*;
+
+const BACKENDS: [Backend; 3] = [Backend::CpuSeq, Backend::CpuPar, Backend::SimGpu];
+
+/// Strategy: a random 2D sample big enough to cross the parallel chunking
+/// threshold shapes on some draws.
+fn sample_strategy() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec((0.0f64..100.0, 0.0f64..100.0), 8..160).prop_map(|points| {
+        let mut data = Vec::with_capacity(points.len() * 2);
+        for (x, y) in points {
+            data.push(x);
+            data.push(y);
+        }
+        data
+    })
+}
+
+fn rect_strategy() -> impl Strategy<Value = Rect> {
+    (-10.0f64..110.0, -10.0f64..110.0, 0.0f64..60.0, 0.0f64..60.0)
+        .prop_map(|(x, y, w, h)| Rect::from_intervals(&[(x, x + w), (y, y + h)]))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Fused estimate+gradient ≡ (estimate, estimator_gradient), bit-exact,
+    /// on every backend — the contract that lets the adaptive tuner drop
+    /// its second sample sweep.
+    #[test]
+    fn fused_estimate_with_gradient_equals_separate_calls(
+        sample in sample_strategy(),
+        q in rect_strategy(),
+    ) {
+        for backend in BACKENDS {
+            let mut a = KdeEstimator::new(
+                Device::new(backend), &sample, 2, KernelFn::Gaussian);
+            let mut b = KdeEstimator::new(
+                Device::new(backend), &sample, 2, KernelFn::Gaussian);
+            let (est_fused, grad_fused) = a.estimate_with_gradient(&q);
+            let est_ref = b.estimate(&q);
+            let grad_ref = b.estimator_gradient(&q);
+            prop_assert_eq!(est_fused, est_ref, "estimate mismatch on {:?}", backend);
+            prop_assert_eq!(grad_fused, grad_ref, "gradient mismatch on {:?}", backend);
+        }
+    }
+
+    /// Batched evaluation ≡ per-query estimates, bit-exact, on every
+    /// backend — the contract behind the O(1)-launch optimizer objective.
+    #[test]
+    fn batched_estimates_equal_looped_estimates(
+        sample in sample_strategy(),
+        queries in proptest::collection::vec(rect_strategy(), 1..12),
+    ) {
+        for backend in BACKENDS {
+            let mut est = KdeEstimator::new(
+                Device::new(backend), &sample, 2, KernelFn::Gaussian);
+            let batched = est.estimate_batch(&queries);
+            let looped: Vec<f64> = queries.iter().map(|q| est.estimate(q)).collect();
+            prop_assert_eq!(batched, looped, "batch mismatch on {:?}", backend);
+        }
+    }
+
+    /// The compact-support kernel exercises the exact-zero factor paths in
+    /// the fused per-point math; equality must still be bitwise.
+    #[test]
+    fn fusion_is_bit_exact_with_compact_support_kernels(
+        sample in sample_strategy(),
+        q in rect_strategy(),
+    ) {
+        for backend in BACKENDS {
+            let mut a = KdeEstimator::new(
+                Device::new(backend), &sample, 2, KernelFn::Epanechnikov);
+            let mut b = KdeEstimator::new(
+                Device::new(backend), &sample, 2, KernelFn::Epanechnikov);
+            let (est_fused, grad_fused) = a.estimate_with_gradient(&q);
+            prop_assert_eq!(est_fused, b.estimate(&q));
+            prop_assert_eq!(grad_fused, b.estimator_gradient(&q));
+        }
+    }
+}
+
+/// The fused layer's whole point, pinned: a full estimate is one upload,
+/// one kernel, one download; folding in the gradient adds nothing; a
+/// B-query batch still launches once.
+#[test]
+fn fused_launch_counts_are_pinned() {
+    let sample: Vec<f64> = (0..512).map(|i| (i % 97) as f64).collect();
+    let mut est = KdeEstimator::new(Device::new(Backend::SimGpu), &sample, 2, KernelFn::Gaussian);
+    let q = Rect::from_intervals(&[(10.0, 40.0), (5.0, 80.0)]);
+
+    let s0 = est.device().stats();
+    let _ = est.estimate(&q);
+    let s1 = est.device().stats();
+    assert_eq!(s1.kernels - s0.kernels, 1, "estimate launches once");
+    assert_eq!(s1.uploads - s0.uploads, 1, "estimate uploads bounds once");
+    assert_eq!(
+        s1.downloads - s0.downloads,
+        1,
+        "estimate downloads one scalar"
+    );
+
+    let _ = est.estimate_with_gradient(&q);
+    let s2 = est.device().stats();
+    assert_eq!(s2.kernels - s1.kernels, 1, "gradient rides the same launch");
+    assert_eq!(s2.downloads - s1.downloads, 1, "sums travel together");
+
+    let queries: Vec<Rect> = (0..16)
+        .map(|i| Rect::from_intervals(&[(i as f64, i as f64 + 30.0), (0.0, 50.0)]))
+        .collect();
+    let _ = est.estimate_batch(&queries);
+    let s3 = est.device().stats();
+    assert_eq!(s3.kernels - s2.kernels, 1, "16-query batch launches once");
+    assert_eq!(s3.uploads - s2.uploads, 1, "all bounds in one upload");
+    assert_eq!(s3.downloads - s2.downloads, 1, "all sums in one download");
+}
