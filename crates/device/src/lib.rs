@@ -21,6 +21,38 @@
 //! Every [`Device`] tracks both *modeled* time (from the cost model) and
 //! *measured* wall time, plus transfer-volume counters used to validate the
 //! paper's transfer-efficiency claims for sample maintenance (§4.2).
+//!
+//! # Thread-ownership contract
+//!
+//! The serving layer (`kdesel-serve`) moves estimators — and therefore
+//! their devices and buffers — onto dedicated executor threads. The types
+//! in this crate uphold the following contract, pinned by
+//! [`thread_contract`] below so a regression fails to compile:
+//!
+//! * [`Device`] is `Send + Sync`. All of its methods take `&self`; the
+//!   timing ledger sits behind a `Mutex` and the telemetry meters are
+//!   atomics, so stats reads ([`Device::stats`],
+//!   [`Device::modeled_seconds`]) are safe from any thread while another
+//!   thread launches kernels. The *command stream* of one model, however,
+//!   is expected to stay on a single owner thread — exactly one executor
+//!   per model, like one OpenCL command queue per context in the paper's
+//!   implementation. Nothing unsafe happens if two threads launch on one
+//!   device concurrently; they only contend on the timing mutex and
+//!   interleave counter updates.
+//! * [`DeviceBuffer`] is `Send + Sync` as plain owned memory, but it is
+//!   deliberately *not* `Clone`: all mutation flows through `Device`
+//!   methods (`upload`, `write_at`, `update_inplace`, …) on the owning
+//!   thread, mirroring device memory that host threads cannot alias.
+//! * The parallel backends run on `kdesel-par`'s *scoped* threads with a
+//!   fixed chunk count, so results are deterministic and identical no
+//!   matter which thread — or how many sibling executors — issue the
+//!   launch.
+//!
+//! Consequently an estimator (`kdesel_kde::KdeEstimator`) composed of a
+//! `Device` plus `DeviceBuffer`s is `Send`: it may be built on one thread
+//! and handed to an executor thread wholesale. `kdesel-serve` relies on
+//! exactly that and adds its own compile-time audit for the estimator
+//! types.
 
 pub mod cost;
 pub mod device;
@@ -29,3 +61,16 @@ pub mod multi;
 pub use cost::{CostModel, CostProfile};
 pub use device::{Backend, Device, DeviceBuffer, DeviceStats};
 pub use multi::{DeviceGroup, PartitionedBuffer};
+
+/// Compile-time pin of the thread-ownership contract documented above.
+/// If a field change makes any of these types lose `Send`/`Sync`, this
+/// stops compiling — the serving layer's executor threads depend on it.
+#[allow(dead_code)]
+fn thread_contract() {
+    fn send_and_sync<T: Send + Sync>() {}
+    send_and_sync::<Device>();
+    send_and_sync::<DeviceBuffer>();
+    send_and_sync::<DeviceStats>();
+    send_and_sync::<DeviceGroup>();
+    send_and_sync::<PartitionedBuffer>();
+}

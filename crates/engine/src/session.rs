@@ -61,6 +61,53 @@ pub fn run_query<R: Rng + ?Sized>(
     }
 }
 
+/// Runs one query through a [`kdesel_serve::ServeHandle`] instead of a
+/// locally-owned estimator — the serving layer as a drop-in for the
+/// synchronous loop above. The estimate may be coalesced with concurrent
+/// submissions (bit-identical results either way); the trailing
+/// [`flush`](kdesel_serve::ServeHandle::flush) barrier waits for the
+/// maintenance worker to apply this query's feedback, reproducing strict
+/// Listing-1 ordering. Callers that prefer throughput over strict
+/// ordering should use the handle directly and skip the flush.
+pub fn run_query_via(
+    table: &Table,
+    serve: &kdesel_serve::ServeHandle,
+    key: &kdesel_serve::ModelKey,
+    region: &Rect,
+) -> Result<QueryOutcome, kdesel_serve::ServeError> {
+    let span = kdesel_telemetry::span("engine.query_seconds");
+    let estimate = serve.estimate(key, region)?;
+    let cardinality = table.count_in(region);
+    let actual = if table.row_count() == 0 {
+        0.0
+    } else {
+        cardinality as f64 / table.row_count() as f64
+    };
+    serve.feedback(
+        key,
+        QueryFeedback {
+            region: region.clone(),
+            estimate,
+            actual,
+            cardinality,
+        },
+    )?;
+    serve.flush(key)?;
+    drop(span);
+    kdesel_telemetry::event("query")
+        .f64("estimate", estimate)
+        .f64("actual", actual)
+        .f64("abs_error", (estimate - actual).abs())
+        .u64("cardinality", cardinality)
+        .str("via", "serve")
+        .emit();
+    Ok(QueryOutcome {
+        estimate,
+        actual,
+        cardinality,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -125,6 +172,122 @@ mod tests {
         assert_eq!(ev.get_f64("actual"), Some(outcome.actual));
         assert_eq!(ev.get_f64("abs_error"), Some(outcome.absolute_error()));
         assert_eq!(ev.get_u64("cardinality"), Some(outcome.cardinality));
+    }
+
+    #[test]
+    fn run_query_via_serve_is_a_drop_in_for_static_models() {
+        let table = kdesel_data::Dataset::Synthetic.generate_projected(2, 1200, 21);
+        let mut rng = StdRng::seed_from_u64(22);
+        let sample = sampling::sample_rows(&table, 64, &mut rng);
+        let config = BuildConfig::paper_default(2);
+        let mut sync = AnyEstimator::build(
+            EstimatorKind::Heuristic,
+            &table,
+            &sample,
+            &[],
+            &config,
+            &mut rng,
+        );
+        let served = kdesel_kde::HeuristicKde::new(
+            kdesel_device::Device::new(config.backend),
+            &sample,
+            2,
+            config.kernel,
+        )
+        .into_model();
+        let key = kdesel_serve::ModelKey::new("synthetic", &["x", "y"]);
+        let service = kdesel_serve::Service::builder(kdesel_serve::ServeConfig::default())
+            .register(key.clone(), kdesel_serve::ServedModel::fixed(served))
+            .build()
+            .unwrap();
+        let handle = service.handle();
+        let queries = kdesel_data::generate_workload(
+            &table,
+            kdesel_data::WorkloadSpec::paper(kdesel_data::WorkloadKind::DataTarget),
+            25,
+            &mut rng,
+        );
+        for q in &queries {
+            let direct = run_query(&table, &mut sync, &q.region, &mut rng);
+            let via = run_query_via(&table, &handle, &key, &q.region).unwrap();
+            assert_eq!(
+                via.estimate, direct.estimate,
+                "estimates must be bitwise equal"
+            );
+            assert_eq!(via.actual, direct.actual);
+            assert_eq!(via.cardinality, direct.cardinality);
+        }
+        service.shutdown().unwrap();
+    }
+
+    #[test]
+    fn run_query_via_serve_is_a_drop_in_for_the_adaptive_loop() {
+        // The serving path must reproduce the synchronous Listing-1 loop
+        // bit-for-bit: same estimates, same bandwidth trajectory, same
+        // Karma replacements — with maintenance running on the executor
+        // thread instead of the caller's.
+        let table = kdesel_data::Dataset::Synthetic.generate_projected(2, 1500, 31);
+        let mut rng = StdRng::seed_from_u64(32);
+        let sample = sampling::sample_rows(&table, 64, &mut rng);
+        let config = BuildConfig::paper_default(2);
+        let mut sync = AnyEstimator::build(
+            EstimatorKind::Adaptive,
+            &table,
+            &sample,
+            &[],
+            &config,
+            &mut rng,
+        );
+        let kde = kdesel_kde::AdaptiveKde::new(
+            kdesel_device::Device::new(config.backend),
+            &sample,
+            2,
+            config.kernel,
+            config.adaptive.clone(),
+            config.karma.clone(),
+        );
+        // Both loops draw replacement tuples from identically-seeded rngs,
+        // so Karma replacements install identical rows.
+        let replacement_seed = 77;
+        let mut sync_rng = StdRng::seed_from_u64(replacement_seed);
+        let refresh_table = std::sync::Arc::new(table.clone());
+        let mut refresh_rng = StdRng::seed_from_u64(replacement_seed);
+        let refresh: kdesel_serve::RefreshFn =
+            Box::new(move |_slot| sampling::sample_one(&refresh_table, &mut refresh_rng));
+        let key = kdesel_serve::ModelKey::new("synthetic", &["x", "y"]);
+        let service = kdesel_serve::Service::builder(kdesel_serve::ServeConfig::default())
+            .register(
+                key.clone(),
+                kdesel_serve::ServedModel::adaptive_with_refresh(kde, refresh),
+            )
+            .build()
+            .unwrap();
+        let handle = service.handle();
+        let queries = kdesel_data::generate_workload(
+            &table,
+            kdesel_data::WorkloadSpec::paper(kdesel_data::WorkloadKind::DataTarget),
+            40,
+            &mut rng,
+        );
+        for q in &queries {
+            let direct = run_query(&table, &mut sync, &q.region, &mut sync_rng);
+            let via = run_query_via(&table, &handle, &key, &q.region).unwrap();
+            assert_eq!(
+                via.estimate, direct.estimate,
+                "estimates must be bitwise equal"
+            );
+        }
+        let report = handle.report(&key).unwrap();
+        let AnyEstimator::Adaptive { kde: sync_kde, .. } = &sync else {
+            unreachable!()
+        };
+        assert_eq!(
+            report.bandwidth,
+            sync_kde.model().bandwidth(),
+            "bandwidth trajectories must match bitwise"
+        );
+        assert_eq!(report.maintenance_applied, queries.len() as u64);
+        service.shutdown().unwrap();
     }
 
     #[test]

@@ -41,6 +41,12 @@ impl HeuristicKde {
     pub fn model(&self) -> &KdeEstimator {
         &self.inner
     }
+
+    /// Unwraps the underlying model (e.g. to register it with
+    /// `kdesel-serve`).
+    pub fn into_model(self) -> KdeEstimator {
+        self.inner
+    }
 }
 
 impl SelectivityEstimator for HeuristicKde {
@@ -82,6 +88,12 @@ impl ScvKde {
     /// Access to the underlying model.
     pub fn model(&self) -> &KdeEstimator {
         &self.inner
+    }
+
+    /// Unwraps the underlying model (e.g. to register it with
+    /// `kdesel-serve`).
+    pub fn into_model(self) -> KdeEstimator {
+        self.inner
     }
 }
 
@@ -135,6 +147,12 @@ impl BatchKde {
     pub fn model(&self) -> &KdeEstimator {
         &self.inner
     }
+
+    /// Unwraps the underlying model (e.g. to register it with
+    /// `kdesel-serve`).
+    pub fn into_model(self) -> KdeEstimator {
+        self.inner
+    }
 }
 
 impl SelectivityEstimator for BatchKde {
@@ -171,13 +189,35 @@ impl AdaptiveKde {
         karma: KarmaConfig,
     ) -> Self {
         let inner = KdeEstimator::new(device, sample, dims, kernel);
+        Self::from_estimator(inner, adaptive, karma)
+    }
+
+    /// Wraps an existing model (e.g. one restored from a
+    /// [`ModelSnapshot`](crate::ModelSnapshot)) with fresh tuning state —
+    /// the tuned bandwidth carries over, the RMSprop accumulator and Karma
+    /// counts restart.
+    pub fn from_estimator(
+        inner: KdeEstimator,
+        adaptive: AdaptiveConfig,
+        karma: KarmaConfig,
+    ) -> Self {
         let karma = KarmaMaintenance::new(&inner, karma);
         Self {
-            tuner: AdaptiveTuner::new(dims, adaptive),
+            tuner: AdaptiveTuner::new(inner.dims(), adaptive),
             inner,
             karma,
             pending: Vec::new(),
         }
+    }
+
+    /// The tuner configuration this model was built with.
+    pub fn adaptive_config(&self) -> &AdaptiveConfig {
+        self.tuner.config()
+    }
+
+    /// The Karma configuration this model was built with.
+    pub fn karma_config(&self) -> &KarmaConfig {
+        self.karma.config()
     }
 
     /// Sample points flagged as outdated and awaiting replacement. The

@@ -1,0 +1,124 @@
+//! Minimal one-shot channel (std `Mutex` + `Condvar`, no external deps).
+//!
+//! Each [`EstimateRequest`](crate::worker::EstimateRequest) carries a
+//! [`Sender`] back to the caller; the executor thread fulfils it once. A
+//! dropped sender wakes the receiver with an error instead of blocking it
+//! forever, so a worker that exits mid-queue never strands a caller.
+
+use std::sync::{Arc, Condvar, Mutex};
+
+struct Slot<T> {
+    state: Mutex<State<T>>,
+    ready: Condvar,
+}
+
+struct State<T> {
+    value: Option<T>,
+    closed: bool,
+}
+
+/// Producing half; consumed by [`Sender::send`].
+pub struct Sender<T> {
+    slot: Option<Arc<Slot<T>>>,
+}
+
+/// Consuming half; consumed by [`Receiver::recv`].
+pub struct Receiver<T> {
+    slot: Arc<Slot<T>>,
+}
+
+/// Error returned by [`Receiver::recv`] when the sender was dropped
+/// without sending.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+/// Creates a connected sender/receiver pair.
+pub fn channel<T>() -> (Sender<T>, Receiver<T>) {
+    let slot = Arc::new(Slot {
+        state: Mutex::new(State {
+            value: None,
+            closed: false,
+        }),
+        ready: Condvar::new(),
+    });
+    (
+        Sender {
+            slot: Some(Arc::clone(&slot)),
+        },
+        Receiver { slot },
+    )
+}
+
+impl<T> Sender<T> {
+    /// Delivers `value` and wakes the receiver. If the receiver was
+    /// dropped the value is discarded — fire-and-forget by design, so a
+    /// worker replying to an abandoned request never errors.
+    pub fn send(mut self, value: T) {
+        let slot = self.slot.take().expect("send consumes the sender");
+        let mut state = slot.state.lock().unwrap();
+        state.value = Some(value);
+        state.closed = true;
+        drop(state);
+        slot.ready.notify_one();
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        if let Some(slot) = self.slot.take() {
+            slot.state.lock().unwrap().closed = true;
+            slot.ready.notify_one();
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Blocks until the value arrives; `Err(RecvError)` if the sender was
+    /// dropped without sending.
+    pub fn recv(self) -> Result<T, RecvError> {
+        let mut state = self.slot.state.lock().unwrap();
+        loop {
+            if let Some(value) = state.value.take() {
+                return Ok(value);
+            }
+            if state.closed {
+                return Err(RecvError);
+            }
+            state = self.slot.ready.wait(state).unwrap();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_crosses_threads() {
+        let (tx, rx) = channel();
+        let handle = std::thread::spawn(move || tx.send(42_u64));
+        assert_eq!(rx.recv(), Ok(42));
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn dropped_sender_unblocks_receiver() {
+        let (tx, rx) = channel::<u64>();
+        drop(tx);
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn dropped_receiver_discards_value() {
+        let (tx, rx) = channel();
+        drop(rx);
+        tx.send(7_u64); // must not panic
+    }
+
+    #[test]
+    fn send_before_recv_is_not_lost() {
+        let (tx, rx) = channel();
+        tx.send("payload");
+        assert_eq!(rx.recv(), Ok("payload"));
+    }
+}

@@ -1,0 +1,315 @@
+//! The service: registry construction, executor-thread lifecycle, and the
+//! cloneable [`ServeHandle`] callers use from any thread.
+
+use crate::config::ServeConfig;
+use crate::model::{ModelKey, ServedModel};
+use crate::oneshot;
+use crate::worker::{EstimateRequest, Msg, Worker, WorkerReport};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::mpsc::{self, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Errors surfaced to service callers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The key was never registered.
+    UnknownModel(String),
+    /// The submitted region's dimensionality does not match the model's.
+    DimensionMismatch {
+        /// The registered model's dimensionality.
+        expected: usize,
+        /// The submitted region's dimensionality.
+        got: usize,
+    },
+    /// The executor thread is gone (service shut down or worker died).
+    Disconnected(String),
+    /// Snapshot persistence failed (IO, malformed JSON, invalid contents).
+    Snapshot(String),
+    /// The same key was registered twice.
+    DuplicateModel(String),
+    /// Invalid [`ServeConfig`].
+    Config(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::UnknownModel(key) => write!(f, "no model registered for {key}"),
+            Self::DimensionMismatch { expected, got } => {
+                write!(f, "region has {got} dims, model expects {expected}")
+            }
+            Self::Disconnected(key) => write!(f, "serving thread for {key} is gone"),
+            Self::Snapshot(what) => write!(f, "snapshot error: {what}"),
+            Self::DuplicateModel(key) => write!(f, "model {key} registered twice"),
+            Self::Config(what) => write!(f, "invalid serve config: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+struct Port {
+    tx: Sender<Msg>,
+    dims: usize,
+}
+
+/// Cloneable, thread-safe entry point: resolves a [`ModelKey`] and talks
+/// to that model's executor thread over its channel.
+#[derive(Clone)]
+pub struct ServeHandle {
+    ports: Arc<BTreeMap<ModelKey, Port>>,
+    queue_depth: Arc<kdesel_telemetry::Gauge>,
+}
+
+/// An in-flight estimate submitted with [`ServeHandle::submit`]; redeem
+/// with [`PendingEstimate::wait`].
+#[must_use = "a pending estimate does nothing until waited on"]
+pub struct PendingEstimate {
+    rx: oneshot::Receiver<f64>,
+    key: String,
+}
+
+impl PendingEstimate {
+    /// Blocks until the batch containing this request is served.
+    pub fn wait(self) -> Result<f64, ServeError> {
+        self.rx
+            .recv()
+            .map_err(|_| ServeError::Disconnected(self.key))
+    }
+}
+
+impl ServeHandle {
+    fn port(&self, key: &ModelKey) -> Result<&Port, ServeError> {
+        self.ports
+            .get(key)
+            .ok_or_else(|| ServeError::UnknownModel(key.to_string()))
+    }
+
+    /// Registered keys, in sorted order.
+    pub fn keys(&self) -> Vec<ModelKey> {
+        self.ports.keys().cloned().collect()
+    }
+
+    /// Dimensionality of the model registered under `key`.
+    pub fn dims(&self, key: &ModelKey) -> Result<usize, ServeError> {
+        Ok(self.port(key)?.dims)
+    }
+
+    /// Enqueues an estimate without blocking; the scheduler may fuse it
+    /// with concurrent submissions into one launch.
+    pub fn submit(
+        &self,
+        key: &ModelKey,
+        region: &kdesel_types::Rect,
+    ) -> Result<PendingEstimate, ServeError> {
+        let port = self.port(key)?;
+        if region.dims() != port.dims {
+            return Err(ServeError::DimensionMismatch {
+                expected: port.dims,
+                got: region.dims(),
+            });
+        }
+        let (reply, rx) = oneshot::channel();
+        let telemetry = kdesel_telemetry::enabled();
+        if telemetry {
+            self.queue_depth.add(1.0);
+        }
+        let sent = port.tx.send(Msg::Estimate(EstimateRequest {
+            region: region.clone(),
+            submitted: Instant::now(),
+            reply,
+        }));
+        if sent.is_err() {
+            if telemetry {
+                self.queue_depth.add(-1.0);
+            }
+            return Err(ServeError::Disconnected(key.to_string()));
+        }
+        Ok(PendingEstimate {
+            rx,
+            key: key.to_string(),
+        })
+    }
+
+    /// Synchronous estimate: submit and wait.
+    pub fn estimate(&self, key: &ModelKey, region: &kdesel_types::Rect) -> Result<f64, ServeError> {
+        self.submit(key, region)?.wait()
+    }
+
+    /// Queues true-selectivity feedback for background maintenance. Never
+    /// blocks on model work — the executor applies it between batches.
+    pub fn feedback(
+        &self,
+        key: &ModelKey,
+        feedback: kdesel_types::QueryFeedback,
+    ) -> Result<(), ServeError> {
+        let port = self.port(key)?;
+        if feedback.region.dims() != port.dims {
+            return Err(ServeError::DimensionMismatch {
+                expected: port.dims,
+                got: feedback.region.dims(),
+            });
+        }
+        port.tx
+            .send(Msg::Feedback(feedback))
+            .map_err(|_| ServeError::Disconnected(key.to_string()))
+    }
+
+    /// Blocks until all feedback queued before this call has been applied
+    /// — the barrier that makes serving a strict drop-in for the
+    /// synchronous estimate→execute→observe loop.
+    pub fn flush(&self, key: &ModelKey) -> Result<(), ServeError> {
+        let (reply, rx) = oneshot::channel();
+        self.port(key)?
+            .tx
+            .send(Msg::Flush(reply))
+            .map_err(|_| ServeError::Disconnected(key.to_string()))?;
+        rx.recv()
+            .map_err(|_| ServeError::Disconnected(key.to_string()))
+    }
+
+    /// Writes a checkpoint now (requires a configured checkpoint policy).
+    pub fn checkpoint(&self, key: &ModelKey) -> Result<(), ServeError> {
+        let (reply, rx) = oneshot::channel();
+        self.port(key)?
+            .tx
+            .send(Msg::Checkpoint(reply))
+            .map_err(|_| ServeError::Disconnected(key.to_string()))?;
+        rx.recv()
+            .map_err(|_| ServeError::Disconnected(key.to_string()))?
+            .map_err(ServeError::Snapshot)
+    }
+
+    /// Snapshots the worker's counters and model state.
+    pub fn report(&self, key: &ModelKey) -> Result<WorkerReport, ServeError> {
+        let (reply, rx) = oneshot::channel();
+        self.port(key)?
+            .tx
+            .send(Msg::Report(reply))
+            .map_err(|_| ServeError::Disconnected(key.to_string()))?;
+        rx.recv()
+            .map_err(|_| ServeError::Disconnected(key.to_string()))
+    }
+}
+
+/// Builder: register models, then [`build`](ServiceBuilder::build) to
+/// restore snapshots and spawn the executor threads.
+pub struct ServiceBuilder {
+    config: ServeConfig,
+    models: Vec<(ModelKey, ServedModel)>,
+}
+
+impl ServiceBuilder {
+    /// Starts a builder with the given knobs.
+    pub fn new(config: ServeConfig) -> Self {
+        Self {
+            config,
+            models: Vec::new(),
+        }
+    }
+
+    /// Registers `model` under `key`. Duplicate keys fail at build time.
+    pub fn register(mut self, key: ModelKey, model: ServedModel) -> Self {
+        self.models.push((key, model));
+        self
+    }
+
+    /// Validates the configuration, restores snapshots (when the policy
+    /// asks for it), and spawns one executor thread per model.
+    pub fn build(self) -> Result<Service, ServeError> {
+        self.config.validate().map_err(ServeError::Config)?;
+        let mut ports = BTreeMap::new();
+        let mut workers = Vec::with_capacity(self.models.len());
+        for (key, mut model) in self.models {
+            if ports.contains_key(&key) {
+                return Err(ServeError::DuplicateModel(key.to_string()));
+            }
+            if let Some(policy) = &self.config.checkpoint {
+                if policy.restore {
+                    match crate::snapshot::load(&policy.dir, &key) {
+                        Ok(Some(snapshot)) => model
+                            .restore_in_place(&snapshot)
+                            .map_err(|e| ServeError::Snapshot(format!("{key}: {e}")))?,
+                        Ok(None) => {}
+                        Err(e) => return Err(ServeError::Snapshot(format!("{key}: {e}"))),
+                    }
+                }
+            }
+            let (tx, rx) = mpsc::channel();
+            let dims = model.dims();
+            let worker = Worker::new(key.clone(), model, self.config.clone(), rx);
+            let thread = std::thread::Builder::new()
+                .name(format!("kdesel-serve:{key}"))
+                .spawn(move || worker.run())
+                .expect("spawning executor thread");
+            ports.insert(key.clone(), Port { tx, dims });
+            workers.push((key, thread));
+        }
+        Ok(Service {
+            handle: ServeHandle {
+                ports: Arc::new(ports),
+                queue_depth: kdesel_telemetry::gauge("serve.queue_depth"),
+            },
+            workers,
+        })
+    }
+}
+
+/// A running service. Owns the executor threads; dropping it performs a
+/// best-effort graceful shutdown (prefer [`Service::shutdown`] to see
+/// errors).
+pub struct Service {
+    handle: ServeHandle,
+    workers: Vec<(ModelKey, JoinHandle<Result<(), String>>)>,
+}
+
+impl Service {
+    /// Starts a builder with the given knobs.
+    pub fn builder(config: ServeConfig) -> ServiceBuilder {
+        ServiceBuilder::new(config)
+    }
+
+    /// A cloneable handle; share freely across producer threads.
+    pub fn handle(&self) -> ServeHandle {
+        self.handle.clone()
+    }
+
+    /// Graceful shutdown: each worker drains queued estimates, applies its
+    /// full feedback backlog, writes a final checkpoint (when configured),
+    /// and exits. Returns the first failure, if any.
+    pub fn shutdown(mut self) -> Result<(), ServeError> {
+        self.shutdown_inner()
+    }
+
+    fn shutdown_inner(&mut self) -> Result<(), ServeError> {
+        for port in self.handle.ports.values() {
+            let _ = port.tx.send(Msg::Shutdown);
+        }
+        let mut first_err = None;
+        for (key, thread) in self.workers.drain(..) {
+            let outcome = match thread.join() {
+                Ok(Ok(())) => None,
+                Ok(Err(e)) => Some(ServeError::Snapshot(e)),
+                Err(_) => Some(ServeError::Disconnected(format!("{key}: worker panicked"))),
+            };
+            if first_err.is_none() {
+                first_err = outcome;
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        if !self.workers.is_empty() {
+            let _ = self.shutdown_inner();
+        }
+    }
+}

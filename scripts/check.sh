@@ -12,6 +12,10 @@ run() {
 
 run cargo build --release --offline --workspace
 run cargo test -q --offline --workspace
+# The serving layer's threaded stress test only means much with optimized
+# code and real contention, so it is #[ignore]d in the default pass and
+# run explicitly in release mode here.
+run cargo test -q --offline --release -p kdesel-serve -- --ignored
 run cargo clippy --offline --workspace --all-targets -- -D warnings
 run cargo fmt --check --all
 

@@ -1,20 +1,30 @@
 #!/usr/bin/env bash
-# Perf smoke test: runs the fusion microbench in quick mode and fails when
-# the modeled cost of the fused estimate hot path regresses by more than 2x
-# against the checked-in baseline (BENCH_fusion.json). Modeled seconds come
-# from the deterministic device cost model, so the gate is immune to
-# machine noise — it only trips when the launch/flop structure of the hot
-# path actually changes.
+# Perf smoke test: runs the fusion and serving benches in quick mode.
+#
+# * bench_fusion fails when the modeled cost of the fused estimate hot
+#   path regresses by more than 2x against the checked-in baseline
+#   (BENCH_fusion.json).
+# * bench_serve fails when coalesced serving is less than 2x faster
+#   (modeled) than one-request-per-launch serving at batch 16 — the gate
+#   is built into the bench itself, no baseline file needed.
+#
+# Modeled seconds come from the deterministic device cost model, so both
+# gates are immune to machine noise — they only trip when the launch /
+# flop structure of a hot path actually changes.
 #
 # Usage: scripts/perf_smoke.sh
-# Refresh the baseline by running `cargo run --release --bin bench_fusion`
-# from the repo root (writes BENCH_fusion.json) and committing the result.
+# Refresh the checked-in reports by running, from the repo root:
+#   cargo run --release --bin bench_fusion   (writes BENCH_fusion.json)
+#   cargo run --release --bin bench_serve    (writes BENCH_serve.json)
+# and committing the results.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cargo build --release --offline --bin bench_fusion
+cargo build --release --offline --bin bench_fusion --bin bench_serve
 out=$(mktemp /tmp/bench_fusion.XXXXXX.json)
-trap 'rm -f "$out"' EXIT
+serve_out=$(mktemp /tmp/bench_serve.XXXXXX.json)
+trap 'rm -f "$out" "$serve_out"' EXIT
 BENCH_FUSION_BASELINE=BENCH_fusion.json BENCH_FUSION_OUT="$out" \
     ./target/release/bench_fusion
+BENCH_SERVE_OUT="$serve_out" ./target/release/bench_serve
 echo "=== perf smoke passed ==="

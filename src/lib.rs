@@ -31,6 +31,7 @@ pub use kdesel_hist as hist;
 pub use kdesel_kde as kde;
 pub use kdesel_math as math;
 pub use kdesel_sample as sample;
+pub use kdesel_serve as serve;
 pub use kdesel_solver as solver;
 pub use kdesel_storage as storage;
 pub use kdesel_types as types;
