@@ -19,6 +19,15 @@ pub struct CostProfile {
     pub transfer_bandwidth: f64,
     /// Effective arithmetic throughput in FLOP/s for this workload.
     pub compute_throughput: f64,
+    /// Per-lane width multiplier applied to *vectorized* kernels
+    /// ([`CostModel::kernel_vectorized`]): a sweep written against the
+    /// columnar SoA layout retires `vector_width` lanes per modeled FLOP
+    /// slot. The calibrated paper profiles keep this at `1.0` because
+    /// their `compute_throughput` numbers already describe fully
+    /// SIMT/SIMD-occupied kernels — so the modeled Figure-7 curves are
+    /// unchanged by the layout rewire — but a profile can raise it to
+    /// model a device whose scalar ALU path and vector path differ.
+    pub vector_width: f64,
 }
 
 impl CostProfile {
@@ -32,6 +41,7 @@ impl CostProfile {
             transfer_latency: 25e-6,
             transfer_bandwidth: 6e9,
             compute_throughput: 120e9,
+            vector_width: 1.0,
         }
     }
 
@@ -45,6 +55,7 @@ impl CostProfile {
             transfer_latency: 10e-6,
             transfer_bandwidth: 10e9,
             compute_throughput: 30e9,
+            vector_width: 1.0,
         }
     }
 
@@ -56,6 +67,7 @@ impl CostProfile {
             transfer_latency: 0.0,
             transfer_bandwidth: f64::INFINITY,
             compute_throughput: f64::INFINITY,
+            vector_width: 1.0,
         }
     }
 }
@@ -86,6 +98,18 @@ impl CostModel {
     pub fn kernel(&self, items: usize, flops_per_item: f64) -> f64 {
         self.profile.kernel_launch_latency
             + items as f64 * flops_per_item / self.profile.compute_throughput
+    }
+
+    /// Modeled seconds for one *vectorized* kernel over `items` items:
+    /// the launch latency is unchanged but the compute term retires
+    /// [`CostProfile::vector_width`] lanes per cycle. With the default
+    /// `vector_width = 1.0` this equals [`CostModel::kernel`], keeping
+    /// the calibrated GTX-460 / Xeon curves intact when the columnar
+    /// sweeps replace the row-major maps.
+    pub fn kernel_vectorized(&self, items: usize, flops_per_item: f64) -> f64 {
+        self.profile.kernel_launch_latency
+            + items as f64 * flops_per_item
+                / (self.profile.compute_throughput * self.profile.vector_width)
     }
 
     /// Modeled seconds for a parallel binary-reduction of `items` values:
@@ -150,6 +174,31 @@ mod tests {
         assert_eq!(m.transfer(1 << 30), 0.0);
         assert_eq!(m.kernel(1 << 30, 1000.0), 0.0);
         assert_eq!(m.reduction(1 << 30), 0.0);
+    }
+
+    #[test]
+    fn vectorized_kernel_scales_compute_by_lane_width() {
+        let base = CostProfile::gtx460();
+        let m1 = CostModel::new(base);
+        // Default width 1.0: vectorized and scalar kernels cost the same,
+        // so swapping the sweeps in changes no calibrated number.
+        assert_eq!(
+            m1.kernel_vectorized(1 << 20, 480.0),
+            m1.kernel(1 << 20, 480.0)
+        );
+        let m4 = CostModel::new(CostProfile {
+            vector_width: 4.0,
+            ..base
+        });
+        // Width 4: compute term shrinks 4x, launch latency does not.
+        let scalar = m4.kernel(1 << 20, 480.0) - base.kernel_launch_latency;
+        let vector = m4.kernel_vectorized(1 << 20, 480.0) - base.kernel_launch_latency;
+        assert!(
+            (scalar / vector - 4.0).abs() < 1e-9,
+            "ratio {}",
+            scalar / vector
+        );
+        assert_eq!(m4.kernel_vectorized(1, 0.0), base.kernel_launch_latency);
     }
 
     #[test]

@@ -57,9 +57,12 @@
 pub mod cost;
 pub mod device;
 pub mod multi;
+mod pool;
 
 pub use cost::{CostModel, CostProfile};
-pub use device::{Backend, Device, DeviceBuffer, DeviceStats};
+pub use device::{
+    Backend, ColsView, Device, DeviceBuffer, DeviceStats, SoaBuffer, SWEEP_BLOCK_ROWS,
+};
 pub use multi::{DeviceGroup, PartitionedBuffer};
 
 /// Compile-time pin of the thread-ownership contract documented above.
@@ -71,6 +74,7 @@ fn thread_contract() {
     send_and_sync::<Device>();
     send_and_sync::<DeviceBuffer>();
     send_and_sync::<DeviceStats>();
+    send_and_sync::<SoaBuffer>();
     send_and_sync::<DeviceGroup>();
     send_and_sync::<PartitionedBuffer>();
 }

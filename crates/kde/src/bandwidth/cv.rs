@@ -22,6 +22,7 @@
 //! why the paper's Batch estimator beats them (§6.2).
 
 use crate::bandwidth::scott::scott_bandwidth;
+use kdesel_math::simd::{F64s, LANES};
 use kdesel_math::FRAC_1_SQRT_2PI;
 use kdesel_solver::{multistart, Bounds, LbfgsConfig, MultistartConfig, Objective};
 use rand::Rng;
@@ -120,6 +121,18 @@ fn pair_sums(
         })
         .collect();
 
+    // One columnar transpose up front: the O(n²) inner loops then stream
+    // unit-stride per-dimension stripes (`cols[d·n..][..n]`) and process
+    // `LANES` partners per step — the same SoA discipline as the device
+    // sweeps, applied host-side.
+    let mut cols = vec![0.0; sample.len()];
+    for (r, row) in sample.chunks_exact(dims).enumerate() {
+        for (d, &v) in row.iter().enumerate() {
+            cols[d * n + r] = v;
+        }
+    }
+    let cols = &cols;
+
     kdesel_par::par_map_combine(
         n,
         || {
@@ -129,37 +142,12 @@ fn pair_sums(
                 .collect::<Vec<_>>()
         },
         |i| {
-            let xi = &sample[i * dims..(i + 1) * dims];
             let mut out: Vec<(f64, Vec<f64>)> =
                 groups.iter().map(|_| (0.0, vec![0.0; dims])).collect();
-            for j in 0..n {
-                let xj = &sample[j * dims..(j + 1) * dims];
-                for ((group, gsc), (v, g)) in groups.iter().zip(&scales).zip(out.iter_mut()) {
-                    if group.exclude_diagonal && i == j {
-                        continue;
-                    }
-                    for (t, sc) in group.terms.iter().zip(gsc) {
-                        let mut prod = t.coeff;
-                        for d in 0..dims {
-                            prod *= phi(xi[d] - xj[d], sc[d]);
-                        }
-                        if prod == 0.0 {
-                            continue;
-                        }
-                        *v += prod;
-                        for d in 0..dims {
-                            if t.alpha == 0.0 {
-                                continue; // scale independent of h
-                            }
-                            let a = sc[d];
-                            let u = xi[d] - xj[d];
-                            // d/dh_d ln φ_a(u) = (u² − a²)/a³ · da/dh_d,
-                            // da/dh_d = α·h_d / a.
-                            let dlog = (u * u - a * a) / (a * a * a) * (t.alpha * h[d] / a);
-                            g[d] += prod * dlog;
-                        }
-                    }
-                }
+            // Groups keep separate accumulators, so sweeping them one
+            // after another preserves each group's (j, term) order.
+            for ((group, gsc), acc) in groups.iter().zip(&scales).zip(out.iter_mut()) {
+                accumulate_group(cols, dims, i, group, gsc, h, acc);
             }
             out
         },
@@ -173,6 +161,128 @@ fn pair_sums(
             a
         },
     )
+}
+
+/// Elementwise `φ_a(u)` with the prefactor `1/(√(2π)·a)` hoisted — the
+/// per-lane operation sequence of [`phi`] exactly.
+#[inline]
+fn phi_lanes(u: F64s, prefactor: f64, a: f64) -> F64s {
+    let w = u / a;
+    (w * -0.5 * w).map(f64::exp) * prefactor
+}
+
+/// Accumulates one group's pair sums for anchor point `i` over all
+/// partners `j`, vectorized `LANES` partners at a time over the columnar
+/// stripes.
+///
+/// Bit-identical to the scalar j-at-a-time loop it replaces: lane
+/// arithmetic mirrors the scalar operation order; the scalar skips
+/// (`prod == 0`, `alpha == 0`, the diagonal) become additions of exact
+/// `±0.0` lane values, which cannot change an accumulator that is never
+/// `-0.0` (it starts at `+0.0`, and IEEE-754 round-to-nearest sums only
+/// produce `-0.0` from two `-0.0` operands); and the per-block
+/// accumulation drain runs in the scalar path's ascending `(j, term)`
+/// order.
+fn accumulate_group(
+    cols: &[f64],
+    dims: usize,
+    i: usize,
+    group: &PairGroup,
+    scales: &[Vec<f64>],
+    h: &[f64],
+    acc: &mut (f64, Vec<f64>),
+) {
+    let n = cols.len() / dims;
+    let (v, g) = acc;
+    // Per-term per-dim constants, each computed exactly as the scalar
+    // expressions compute them: the scale a, the φ prefactor, a²,
+    // a³ = (a·a)·a, and the gradient scale s = α·h_d/a.
+    type TermConsts = Vec<Vec<(f64, f64, f64, f64, f64)>>;
+    let consts: TermConsts = group
+        .terms
+        .iter()
+        .zip(scales)
+        .map(|(t, sc)| {
+            sc.iter()
+                .zip(h)
+                .map(|(&a, &hd)| (a, FRAC_1_SQRT_2PI / a, a * a, a * a * a, t.alpha * hd / a))
+                .collect()
+        })
+        .collect();
+    let tcount = group.terms.len();
+    let main = n - n % LANES;
+    let mut us: Vec<[f64; LANES]> = vec![[0.0; LANES]; dims];
+    let mut prods: Vec<[f64; LANES]> = vec![[0.0; LANES]; tcount];
+    let mut gcons: Vec<[f64; LANES]> = vec![[0.0; LANES]; tcount * dims];
+    let mut j0 = 0;
+    while j0 < main {
+        // u_d = x_i[d] − x_j[d] for the whole lane block, one stripe per
+        // dimension (the columnar payoff: unit-stride loads).
+        for (d, u) in us.iter_mut().enumerate() {
+            let xi_d = cols[d * n + i];
+            *u = (F64s::splat(xi_d) - F64s::from_slice(&cols[d * n + j0..])).to_array();
+        }
+        for (t_idx, (t, tc)) in group.terms.iter().zip(&consts).enumerate() {
+            let mut prod = F64s::splat(t.coeff);
+            for (u, &(a, pref, _, _, _)) in us.iter().zip(tc) {
+                prod = prod * phi_lanes(F64s(*u), pref, a);
+            }
+            prods[t_idx] = prod.to_array();
+            for (d, (u, &(_, _, a2, a3, s))) in us.iter().zip(tc).enumerate() {
+                let uv = F64s(*u);
+                let dlog = (uv * uv - F64s::splat(a2)) / a3 * s;
+                gcons[t_idx * dims + d] = (prod * dlog).to_array();
+            }
+        }
+        // The diagonal skip: zero that lane's addends (adding an exact
+        // +0.0 is a no-op for these accumulators).
+        if group.exclude_diagonal && (j0..j0 + LANES).contains(&i) {
+            let lane = i - j0;
+            for t_idx in 0..tcount {
+                prods[t_idx][lane] = 0.0;
+                for d in 0..dims {
+                    gcons[t_idx * dims + d][lane] = 0.0;
+                }
+            }
+        }
+        // Drain in the scalar path's ascending (j, term) order.
+        for lane in 0..LANES {
+            for t_idx in 0..tcount {
+                *v += prods[t_idx][lane];
+                for (d, gd) in g.iter_mut().enumerate() {
+                    *gd += gcons[t_idx * dims + d][lane];
+                }
+            }
+        }
+        j0 += LANES;
+    }
+    // Scalar tail: the original j-at-a-time loop body, verbatim.
+    for j in main..n {
+        if group.exclude_diagonal && i == j {
+            continue;
+        }
+        for (t, sc) in group.terms.iter().zip(scales) {
+            let mut prod = t.coeff;
+            for d in 0..dims {
+                prod *= phi(cols[d * n + i] - cols[d * n + j], sc[d]);
+            }
+            if prod == 0.0 {
+                continue;
+            }
+            *v += prod;
+            for d in 0..dims {
+                if t.alpha == 0.0 {
+                    continue; // scale independent of h
+                }
+                let a = sc[d];
+                let u = cols[d * n + i] - cols[d * n + j];
+                // d/dh_d ln φ_a(u) = (u² − a²)/a³ · da/dh_d,
+                // da/dh_d = α·h_d / a.
+                let dlog = (u * u - a * a) / (a * a * a) * (t.alpha * h[d] / a);
+                g[d] += prod * dlog;
+            }
+        }
+    }
 }
 
 /// The LSCV criterion as a solver objective over `ln h`.

@@ -11,14 +11,20 @@
 use crate::bandwidth::scott::scott_bandwidth;
 use crate::kernel::KernelFn;
 use crate::loss::LossFunction;
-use kdesel_device::{Device, DeviceBuffer};
+use crate::sweep;
+use kdesel_device::{Device, DeviceBuffer, SoaBuffer};
 use kdesel_types::Rect;
 
 /// A kernel density model over a fixed-size data sample.
+///
+/// The device-resident sample uses the columnar (SoA) layout — one
+/// contiguous stripe per dimension — so the estimate/gradient sweeps in
+/// [`crate::sweep`] stream unit-stride memory and vectorize; results are
+/// bit-identical to the row-major scalar path.
 #[derive(Debug)]
 pub struct KdeEstimator {
     device: Device,
-    sample: DeviceBuffer,
+    sample: SoaBuffer,
     /// Host mirror of the sample. The host produced the sample in the first
     /// place (ANALYZE), so the mirror costs no transfers; the batch/CV
     /// optimizers iterate over it without touching the device timing.
@@ -47,7 +53,7 @@ impl KdeEstimator {
         assert!(dims > 0, "zero-dimensional model");
         assert!(!sample.is_empty(), "empty sample");
         assert_eq!(sample.len() % dims, 0, "ragged sample");
-        let buffer = device.upload(sample);
+        let buffer = device.stage_rows_soa(sample, dims);
         let bandwidth = scott_bandwidth(sample, dims);
         Self {
             device,
@@ -127,6 +133,10 @@ impl KdeEstimator {
         bounds.extend_from_slice(region.lo());
         bounds.extend_from_slice(region.hi());
         let _bounds_buf = self.device.upload(&bounds);
+        // Return the previous retained buffer to the pool *before* the
+        // sweep acquires its replacement, so steady-state loops recycle
+        // the same storage instead of missing the pool every round.
+        self.last_contributions = None;
         // (2)+(3)+(4) Map, reduce, and download the scalar — one kernel.
         let kernel = self.kernel;
         let bw = &self.bandwidth;
@@ -135,8 +145,8 @@ impl KdeEstimator {
         let flops = kernel.flops_per_factor() * self.dims as f64;
         let (sum, contributions) =
             self.device
-                .map_rows_reduce(&self.sample, self.dims, flops, true, |row| {
-                    kernel.contribution(row, lo, hi, bw)
+                .sweep_reduce(&self.sample, flops, true, |view, out| {
+                    sweep::contributions_into(kernel, &view, lo, hi, bw, out);
                 });
         self.last_contributions = contributions;
         (sum / self.size as f64).clamp(0.0, 1.0)
@@ -158,6 +168,8 @@ impl KdeEstimator {
         bounds.extend_from_slice(region.lo());
         bounds.extend_from_slice(region.hi());
         let _bounds_buf = self.device.upload(&bounds);
+        // As in `estimate`: recycle the stale retained buffer first.
+        self.last_contributions = None;
         let kernel = self.kernel;
         let bw = &self.bandwidth;
         let lo = region.lo();
@@ -166,9 +178,8 @@ impl KdeEstimator {
         let flops = kernel.flops_per_factor() * (d * 2) as f64 + (d * d) as f64;
         let (sums, contributions) =
             self.device
-                .map_rows_multi_reduce(&self.sample, d, 1 + d, flops, true, |row, out| {
-                    let (value, grad) = out.split_first_mut().unwrap();
-                    *value = kernel.contribution_with_gradient(row, lo, hi, bw, grad);
+                .sweep_multi_reduce(&self.sample, 1 + d, flops, true, |view, out| {
+                    sweep::fused_strided_into(kernel, &view, lo, hi, bw, out, 1 + d, 0, true);
                 });
         self.last_contributions = contributions;
         let estimate = (sums[0] / self.size as f64).clamp(0.0, 1.0);
@@ -211,9 +222,9 @@ impl KdeEstimator {
         let flops = kernel.flops_per_factor() * self.dims as f64 * b as f64;
         let sums = self
             .device
-            .map_rows_batch(&self.sample, self.dims, b, flops, |row, out| {
-                for (r, o) in regions.iter().zip(out.iter_mut()) {
-                    *o = kernel.contribution(row, r.lo(), r.hi(), bw);
+            .sweep_batch(&self.sample, b, flops, |view, out| {
+                for (q, r) in regions.iter().enumerate() {
+                    sweep::contributions_strided_into(kernel, &view, r.lo(), r.hi(), bw, out, b, q);
                 }
             });
         sums.iter()
@@ -265,20 +276,23 @@ impl KdeEstimator {
         let b = regions.len();
         let width = 1 + d;
         let flops = (kernel.flops_per_factor() * (d * 2) as f64 + (d * d) as f64) * b as f64;
-        let (sums, _) = self.device.map_rows_multi_reduce(
-            &self.sample,
-            d,
-            b * width,
-            flops,
-            false,
-            |row, out| {
-                for (r, o) in regions.iter().zip(out.chunks_exact_mut(width)) {
-                    let (value, grad) = o.split_first_mut().unwrap();
-                    *value =
-                        kernel.contribution_with_gradient(row, r.lo(), r.hi(), bandwidth, grad);
-                }
-            },
-        );
+        let (sums, _) =
+            self.device
+                .sweep_multi_reduce(&self.sample, b * width, flops, false, |view, out| {
+                    for (q, r) in regions.iter().enumerate() {
+                        sweep::fused_strided_into(
+                            kernel,
+                            &view,
+                            r.lo(),
+                            r.hi(),
+                            bandwidth,
+                            out,
+                            b * width,
+                            q * width,
+                            true,
+                        );
+                    }
+                });
         let inv_s = 1.0 / self.size as f64;
         sums.chunks_exact(width)
             .map(|chunk| {
@@ -309,13 +323,13 @@ impl KdeEstimator {
         let lo = region.lo();
         let hi = region.hi();
         // Gradient needs all d factors plus d derivative terms per point.
-        let flops =
-            kernel.flops_per_factor() * (self.dims * 2) as f64 + (self.dims * self.dims) as f64;
-        let partials =
-            self.device
-                .map_rows_multi(&self.sample, self.dims, self.dims, flops, |row, out| {
-                    kernel.contribution_gradient(row, lo, hi, bw, out);
-                });
+        let d = self.dims;
+        let flops = kernel.flops_per_factor() * (d * 2) as f64 + (d * d) as f64;
+        let partials = self
+            .device
+            .sweep_multi(&self.sample, d, flops, |view, out| {
+                sweep::fused_strided_into(kernel, &view, lo, hi, bw, out, d, 0, false);
+            });
         let mut grad = self.device.reduce_sum_columns(&partials, self.dims);
         let inv_s = 1.0 / self.size as f64;
         for g in &mut grad {
@@ -352,7 +366,7 @@ impl KdeEstimator {
         assert_eq!(row.len(), self.dims);
         assert!(row.iter().all(|v| !v.is_nan()), "NaN attribute");
         let offset = index * self.dims;
-        self.device.write_at(&mut self.sample, offset, row);
+        self.device.write_row_soa(&mut self.sample, index, row);
         self.host_sample[offset..offset + self.dims].copy_from_slice(row);
         self.last_contributions = None;
         self.last_gradient = None;

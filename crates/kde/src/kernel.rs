@@ -236,9 +236,10 @@ fn epa_cdf(u: f64) -> f64 {
     0.25 * (3.0 * u - u * u * u) + 0.5
 }
 
-/// Epanechnikov density `¾(1−u²)` on `[-1, 1]`.
+/// Epanechnikov density `¾(1−u²)` on `[-1, 1]` (shared with the
+/// vectorized sweeps in [`crate::sweep`]).
 #[inline]
-fn epa_pdf(u: f64) -> f64 {
+pub(crate) fn epa_pdf(u: f64) -> f64 {
     0.75 * (1.0 - u * u)
 }
 

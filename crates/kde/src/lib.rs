@@ -29,6 +29,7 @@ pub mod kernel;
 pub mod loss;
 pub mod mixed;
 pub mod persist;
+pub(crate) mod sweep;
 pub mod variable;
 
 pub use bandwidth::adaptive::{AdaptiveConfig, AdaptiveTuner};

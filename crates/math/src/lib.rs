@@ -10,10 +10,13 @@
 //! * [`normal`] — Gaussian pdf/cdf/quantile,
 //! * [`stats`] — streaming (Welford) moments and covariance, used for
 //!   Scott's rule (paper eq. 3) and the dataset generators,
-//! * [`vecops`] — small dense-vector kernels shared by the solver.
+//! * [`vecops`] — small dense-vector kernels shared by the solver,
+//! * [`simd`] — a portable fixed-width f64 lane type for the vectorized
+//!   columnar kernel sweeps (unsafe-free, auto-vectorized).
 
 pub mod erf;
 pub mod normal;
+pub mod simd;
 pub mod stats;
 pub mod vecops;
 

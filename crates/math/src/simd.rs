@@ -1,0 +1,189 @@
+//! Portable fixed-width f64 lane type for the vectorized kernel sweeps.
+//!
+//! `std::simd` is still nightly-only and the workspace builds offline, so
+//! this module provides the minimal lane abstraction the columnar KDE
+//! sweeps need: a `[f64; LANES]` wrapper whose elementwise operators are
+//! plain loops over the array. The loops are trivially auto-vectorizable
+//! (no branches, no reductions, unit stride) and the workspace builds
+//! with `-C target-cpu=native` (see `.cargo/config.toml`), so rustc/LLVM
+//! lowers them to packed `vaddpd`/`vmulpd`/`vdivpd`/`vmaxpd` instructions
+//! at the host's widest vector width. No `unsafe`, no intrinsics.
+//!
+//! **Bit-identity contract.** Every lane applies exactly the IEEE-754
+//! operation the scalar code would: `F64s` never reassociates, never
+//! fuses multiply-add, and transcendental steps ([`F64s::map`], e.g. the
+//! scalar `erf`) run the very same scalar function per lane. A sweep
+//! written with `F64s` therefore produces results bitwise equal to the
+//! scalar row-at-a-time loop it replaces — which is what lets the SoA
+//! fast path slot under the device layer's bit-identity pins.
+
+// Lint allowlist for this (unsafe-free) module: the operator macro
+// spells lane updates as `*a = *a op *b` rather than `*a op= *b` so the
+// generated loop bodies stay textually identical to the scalar IEEE-754
+// expressions the bit-identity contract quotes; the two forms compile
+// identically, the explicit one documents the contract.
+#![allow(clippy::assign_op_pattern)]
+
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// Number of f64 lanes processed per vector step. Eight doubles = one
+/// AVX-512 register or two AVX2 registers; LLVM splits or widens as the
+/// target allows, and correctness never depends on the physical width.
+pub const LANES: usize = 8;
+
+/// A pack of [`LANES`] `f64` values with elementwise arithmetic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct F64s(pub [f64; LANES]);
+
+impl F64s {
+    /// All lanes set to `v`.
+    #[inline]
+    pub fn splat(v: f64) -> Self {
+        Self([v; LANES])
+    }
+
+    /// Loads the first [`LANES`] elements of `s`.
+    ///
+    /// # Panics
+    /// Panics when `s` has fewer than [`LANES`] elements.
+    #[inline]
+    pub fn from_slice(s: &[f64]) -> Self {
+        let mut out = [0.0; LANES];
+        out.copy_from_slice(&s[..LANES]);
+        Self(out)
+    }
+
+    /// Stores the lanes into the first [`LANES`] elements of `out`.
+    ///
+    /// # Panics
+    /// Panics when `out` has fewer than [`LANES`] elements.
+    #[inline]
+    pub fn write_to(self, out: &mut [f64]) {
+        out[..LANES].copy_from_slice(&self.0);
+    }
+
+    /// The lanes as a plain array.
+    #[inline]
+    pub fn to_array(self) -> [f64; LANES] {
+        self.0
+    }
+
+    /// Applies a scalar function to every lane — the escape hatch for
+    /// transcendentals (`erf`, `exp`) that stay scalar per lane.
+    #[inline]
+    pub fn map(self, f: impl Fn(f64) -> f64) -> Self {
+        let mut out = self.0;
+        for v in &mut out {
+            *v = f(*v);
+        }
+        Self(out)
+    }
+
+    /// Elementwise `f64::clamp` — lowers to packed min/max.
+    #[inline]
+    pub fn clamp(self, lo: f64, hi: f64) -> Self {
+        let mut out = self.0;
+        for v in &mut out {
+            *v = v.clamp(lo, hi);
+        }
+        Self(out)
+    }
+
+    /// Zeroes every lane whose `probe` lane is NOT within `[lo, hi]`
+    /// (NaN probes zero too) and keeps the rest — the branch-free select
+    /// (packed compare + blend) that lets guarded kernel terms compute
+    /// unconditionally on all lanes and discard the out-of-support ones,
+    /// exactly like the scalar `if in-range { value } else { 0.0 }`.
+    #[inline]
+    pub fn zero_unless_within(self, probe: F64s, lo: f64, hi: f64) -> Self {
+        let mut out = self.0;
+        for (v, p) in out.iter_mut().zip(&probe.0) {
+            if !(lo <= *p && *p <= hi) {
+                *v = 0.0;
+            }
+        }
+        Self(out)
+    }
+}
+
+macro_rules! elementwise {
+    ($trait:ident, $method:ident, $op:tt) => {
+        impl $trait for F64s {
+            type Output = F64s;
+            #[inline]
+            fn $method(self, rhs: F64s) -> F64s {
+                let mut out = self.0;
+                for (a, b) in out.iter_mut().zip(&rhs.0) {
+                    *a = *a $op *b;
+                }
+                F64s(out)
+            }
+        }
+
+        impl $trait<f64> for F64s {
+            type Output = F64s;
+            #[inline]
+            fn $method(self, rhs: f64) -> F64s {
+                self $op F64s::splat(rhs)
+            }
+        }
+    };
+}
+
+elementwise!(Add, add, +);
+elementwise!(Sub, sub, -);
+elementwise!(Mul, mul, *);
+elementwise!(Div, div, /);
+
+impl Neg for F64s {
+    type Output = F64s;
+    #[inline]
+    fn neg(self) -> F64s {
+        let mut out = self.0;
+        for v in &mut out {
+            *v = -*v;
+        }
+        F64s(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splat_and_roundtrip() {
+        let v = F64s::splat(2.5);
+        assert_eq!(v.to_array(), [2.5; LANES]);
+        let data: Vec<f64> = (0..LANES + 2).map(|i| i as f64).collect();
+        let loaded = F64s::from_slice(&data);
+        let mut out = vec![0.0; LANES];
+        loaded.write_to(&mut out);
+        assert_eq!(out, &data[..LANES]);
+    }
+
+    #[test]
+    fn arithmetic_is_elementwise_and_bit_exact() {
+        let a: [f64; LANES] = std::array::from_fn(|i| (i as f64 + 1.0) * 0.37);
+        let b: [f64; LANES] = std::array::from_fn(|i| (i as f64 + 3.0) * -1.91);
+        let (va, vb) = (F64s(a), F64s(b));
+        for i in 0..LANES {
+            assert_eq!((va + vb).0[i], a[i] + b[i]);
+            assert_eq!((va - vb).0[i], a[i] - b[i]);
+            assert_eq!((va * vb).0[i], a[i] * b[i]);
+            assert_eq!((va / vb).0[i], a[i] / b[i]);
+            assert_eq!((-va).0[i], -a[i]);
+            assert_eq!((va * 0.5).0[i], a[i] * 0.5);
+        }
+    }
+
+    #[test]
+    fn map_and_clamp_match_scalar() {
+        let a: [f64; LANES] = std::array::from_fn(|i| i as f64 - 3.5);
+        let v = F64s(a);
+        for (i, &x) in a.iter().enumerate() {
+            assert_eq!(v.map(f64::exp).0[i], x.exp());
+            assert_eq!(v.clamp(-1.0, 1.0).0[i], x.clamp(-1.0, 1.0));
+        }
+    }
+}

@@ -161,6 +161,53 @@ where
     });
 }
 
+/// Calls `f(block_index, &mut out[block*block_elems..])` for every
+/// contiguous block of at most `block_elems` elements — the trailing
+/// block may be shorter. Blocks are fixed by `block_elems` alone (never
+/// by worker count), so a 1-core and a 64-core run see identical block
+/// boundaries; each block's output is written by exactly one thread.
+///
+/// This is the dispatch shape of the cache-blocked columnar sweeps: the
+/// device layer hands each block of rows to the vectorized kernel as one
+/// unit-stride stripe.
+///
+/// # Panics
+/// Panics when `block_elems` is zero.
+pub fn par_for_each_block_mut<T, F>(out: &mut [T], block_elems: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(block_elems > 0, "zero block size");
+    let len = out.len();
+    if len < PARALLEL_THRESHOLD || workers() == 1 {
+        for (i, block) in out.chunks_mut(block_elems).enumerate() {
+            f(i, block);
+        }
+        return;
+    }
+    let blocks = len.div_ceil(block_elems);
+    let splits = ranges(blocks, workers());
+    std::thread::scope(|scope| {
+        let mut rest = out;
+        for range in splits {
+            if range.is_empty() {
+                continue;
+            }
+            let elems = (range.len() * block_elems).min(rest.len());
+            let (head, tail) = rest.split_at_mut(elems);
+            rest = tail;
+            let base = range.start;
+            let f = &f;
+            scope.spawn(move || {
+                for (i, block) in head.chunks_mut(block_elems).enumerate() {
+                    f(base + i, block);
+                }
+            });
+        }
+    });
+}
+
 /// Parallel map-reduce with an explicit accumulator combiner (the shape
 /// `rayon`'s `map(..).reduce(identity, combine)` had). Deterministic:
 /// fixed chunking, in-order combination.
@@ -237,6 +284,26 @@ mod tests {
         });
         for (k, &v) in out.iter().enumerate() {
             assert_eq!(v, k as f64);
+        }
+    }
+
+    #[test]
+    fn block_helper_covers_ragged_tail_exactly_once() {
+        for (len, block) in [
+            (0usize, 7usize),
+            (5, 7),
+            (PARALLEL_THRESHOLD * 2 + 13, 512),
+            (PARALLEL_THRESHOLD, PARALLEL_THRESHOLD),
+        ] {
+            let mut out = vec![0.0f64; len];
+            par_for_each_block_mut(&mut out, block, |b, chunk| {
+                for (j, cell) in chunk.iter_mut().enumerate() {
+                    *cell += (b * block + j) as f64 + 1.0;
+                }
+            });
+            for (k, &v) in out.iter().enumerate() {
+                assert_eq!(v, k as f64 + 1.0, "len {len} block {block} idx {k}");
+            }
         }
     }
 

@@ -86,6 +86,7 @@ struct Meters {
     replacements: Arc<kdesel_telemetry::Counter>,
     checkpoints: Arc<kdesel_telemetry::Counter>,
     checkpoint_errors: Arc<kdesel_telemetry::Counter>,
+    pool_hit_rate: Arc<kdesel_telemetry::Gauge>,
 }
 
 impl Meters {
@@ -102,6 +103,7 @@ impl Meters {
             replacements: kdesel_telemetry::counter("serve.replacements"),
             checkpoints: kdesel_telemetry::counter("serve.checkpoints"),
             checkpoint_errors: kdesel_telemetry::counter("serve.checkpoint_errors"),
+            pool_hit_rate: kdesel_telemetry::gauge("serve.pool_hit_rate"),
         }
     }
 }
@@ -279,6 +281,13 @@ impl Worker {
                 self.meters
                     .request_seconds
                     .record(req.submitted.elapsed().as_secs_f64());
+            }
+            let stats = self.model.estimator().device().stats();
+            let lookups = stats.pool_hits + stats.pool_misses;
+            if lookups > 0 {
+                self.meters
+                    .pool_hit_rate
+                    .set(stats.pool_hits as f64 / lookups as f64);
             }
         }
         for (req, estimate) in batch.into_iter().zip(estimates) {

@@ -20,8 +20,9 @@ run cargo clippy --offline --workspace --all-targets -- -D warnings
 run cargo fmt --check --all
 
 # Optional perf gate: PERF_SMOKE=1 scripts/check.sh additionally runs the
-# fusion microbench and fails on a >2x modeled-cost regression of the
-# estimate hot path (see scripts/perf_smoke.sh).
+# fusion, serving and SIMD microbenches and fails on a >2x modeled-cost
+# regression of the estimate hot path, <2x modeled coalescing at batch 16,
+# or a <2x wall-clock SoA sweep speedup (see scripts/perf_smoke.sh).
 if [[ "${PERF_SMOKE:-0}" == "1" ]]; then
     run scripts/perf_smoke.sh
 fi

@@ -1,0 +1,216 @@
+//! SIMD/SoA sweep microbenchmark (BENCH_simd.json).
+//!
+//! Measures the columnar, lane-vectorized sweep kernels against the
+//! scalar row-major (AoS) path they replaced, on a single thread:
+//!
+//! * **estimate sweep** — `KdeEstimator::estimate` (SoA stripes +
+//!   `F64s` lanes) vs a hand-rolled `map_rows_reduce` over the AoS
+//!   buffer calling `KernelFn::contribution` per row — exactly the
+//!   pre-SoA hot path,
+//! * **fused gradient sweep** — `estimate_with_gradient` vs the AoS
+//!   `map_rows_multi_reduce` + `contribution_with_gradient` equivalent.
+//!
+//! Both kernels are measured; the Epanechnikov estimate sweep is the
+//! gated one (pure polynomial arithmetic, so lane speedup is the whole
+//! story), while Gaussian keeps a scalar `erf` per lane and only gains
+//! from the columnar layout. The vector sweep pre-scales the bandwidth
+//! reciprocals (division-free inner loop), so it agrees with the
+//! division-form scalar baseline to ~1 ulp per factor rather than
+//! bitwise — the bench asserts the 1e-12 agreement up front.
+//!
+//! Results go to `BENCH_simd.json` (override with `BENCH_SIMD_OUT`).
+//! With `PERF_SMOKE=1` the run fails (exit 1) if the Epanechnikov
+//! estimate sweep is less than 2x faster than the scalar AoS baseline
+//! — the perf-smoke gate.
+
+use kdesel_bench::{emit, Cli};
+use kdesel_device::{Backend, Device};
+use kdesel_engine::report::{fmt, TextTable};
+use kdesel_kde::{KdeEstimator, KernelFn};
+use kdesel_types::Rect;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// One scalar-vs-vector comparison.
+struct PathReport {
+    label: String,
+    scalar_seconds: f64,
+    simd_seconds: f64,
+}
+
+impl PathReport {
+    fn speedup(&self) -> f64 {
+        self.scalar_seconds / self.simd_seconds
+    }
+}
+
+/// Median wall time of `reps` runs of `f`.
+fn wall_median(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut times: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+fn json_path(r: &PathReport) -> String {
+    format!(
+        "{{\"scalar_aos_seconds\": {:e}, \"simd_soa_seconds\": {:e}, \"speedup\": {:.3}}}",
+        r.scalar_seconds,
+        r.simd_seconds,
+        r.speedup()
+    )
+}
+
+/// Runs both sweeps for one kernel and returns the two comparisons.
+fn bench_kernel(
+    kernel: KernelFn,
+    sample: &[f64],
+    dims: usize,
+    region: &Rect,
+    reps: usize,
+) -> (PathReport, PathReport) {
+    let name = match kernel {
+        KernelFn::Gaussian => "gaussian",
+        KernelFn::Epanechnikov => "epanechnikov",
+    };
+    // Vectorized side: the estimator itself (SoA staging + lane sweeps).
+    let mut est = KdeEstimator::new(Device::new(Backend::CpuSeq), sample, dims, kernel);
+    let bw: Vec<f64> = est.bandwidth().to_vec();
+    let n = sample.len() / dims;
+
+    // Scalar side: the pre-SoA hot path — a row-major device buffer and
+    // the per-row scalar kernel, one launch via `map_rows_reduce`, with
+    // the same bounds transfer and retained contribution buffer the old
+    // `estimate` performed.
+    let aos_device = Device::new(Backend::CpuSeq);
+    let aos = aos_device.upload(sample);
+    let (lo, hi) = (region.lo(), region.hi());
+    let flops = kernel.flops_per_factor() * dims as f64;
+    let scalar_estimate = || {
+        let mut bounds = Vec::with_capacity(2 * dims);
+        bounds.extend_from_slice(lo);
+        bounds.extend_from_slice(hi);
+        let _bounds_buf = aos_device.upload(&bounds);
+        let (sum, contributions) = aos_device.map_rows_reduce(&aos, dims, flops, true, |row| {
+            kernel.contribution(row, lo, hi, &bw)
+        });
+        black_box(contributions);
+        (sum / n as f64).clamp(0.0, 1.0)
+    };
+
+    // The SoA sweep multiplies by hoisted bandwidth reciprocals where
+    // the scalar kernel divides, so the two agree to ~1 ulp per factor
+    // (the estimator pins the same 1e-12 band against its host oracle).
+    let scalar_value = scalar_estimate();
+    let simd_value = est.estimate(region);
+    assert!(
+        (scalar_value - simd_value).abs() <= 1e-12,
+        "{name}: scalar AoS and SIMD SoA estimates diverged: {scalar_value} vs {simd_value}"
+    );
+
+    let estimate = PathReport {
+        label: format!("{name}/estimate"),
+        scalar_seconds: wall_median(reps, || {
+            black_box(scalar_estimate());
+        }),
+        simd_seconds: wall_median(reps, || {
+            black_box(est.estimate(region));
+        }),
+    };
+
+    // Fused value+gradient sweep (width 1+d), scalar AoS equivalent.
+    let gflops = kernel.flops_per_factor() * (dims * 2) as f64 + (dims * dims) as f64;
+    let width = 1 + dims;
+    let scalar_fused = || {
+        let (sums, _) =
+            aos_device.map_rows_multi_reduce(&aos, dims, width, gflops, false, |row, out| {
+                out[0] = kernel.contribution_with_gradient(row, lo, hi, &bw, &mut out[1..]);
+            });
+        black_box(sums);
+    };
+    let fused = PathReport {
+        label: format!("{name}/fused_gradient"),
+        scalar_seconds: wall_median(reps, scalar_fused),
+        simd_seconds: wall_median(reps, || {
+            black_box(est.estimate_with_gradient(region));
+        }),
+    };
+    (estimate, fused)
+}
+
+fn main() {
+    let cli = Cli::parse();
+    let dims = 8;
+    let points = cli.rows_or(1 << 14, 1 << 16);
+    let reps = cli.reps_or(15, 41);
+    let seed = cli.seed.unwrap_or(0x51d0);
+    eprintln!("# simd microbench: {points} sample points, {dims}D, {reps} reps, single thread");
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let sample: Vec<f64> = (0..points * dims)
+        .map(|_| rng.gen_range(0.0..100.0))
+        .collect();
+    // A wide query: nearly every point contributes in every dimension, so
+    // the scalar path gets no early-exit advantage and the comparison
+    // isolates layout + vectorization.
+    let center = vec![50.0; dims];
+    let extent = vec![80.0; dims];
+    let region = Rect::centered(&center, &extent);
+
+    let (epa_est, epa_fused) = bench_kernel(KernelFn::Epanechnikov, &sample, dims, &region, reps);
+    let (gauss_est, gauss_fused) = bench_kernel(KernelFn::Gaussian, &sample, dims, &region, reps);
+
+    let rows = [&epa_est, &epa_fused, &gauss_est, &gauss_fused];
+    let mut table = TextTable::new(["sweep", "scalar_ms", "simd_ms", "speedup"]);
+    for r in rows {
+        table.row([
+            r.label.clone(),
+            fmt(r.scalar_seconds * 1e3),
+            fmt(r.simd_seconds * 1e3),
+            format!("{:.2}x", r.speedup()),
+        ]);
+    }
+    emit(&cli, &table);
+
+    let json = format!(
+        "{{\n  \"config\": {{\"points\": {points}, \"dims\": {dims}, \"reps\": {reps}, \"seed\": {seed}}},\n  \"epanechnikov\": {{\n    \"estimate\": {},\n    \"fused_gradient\": {}\n  }},\n  \"gaussian\": {{\n    \"estimate\": {},\n    \"fused_gradient\": {}\n  }}\n}}\n",
+        json_path(&epa_est),
+        json_path(&epa_fused),
+        json_path(&gauss_est),
+        json_path(&gauss_fused),
+    );
+    let out = std::env::var("BENCH_SIMD_OUT").unwrap_or_else(|_| "BENCH_simd.json".into());
+    if let Err(e) = std::fs::write(&out, &json) {
+        eprintln!("cannot write {out}: {e}");
+        std::process::exit(2);
+    }
+    eprintln!("# wrote {out}");
+
+    // --- Perf-smoke gate: vectorized Epanechnikov sweep must hold 2x. ---
+    let gated = std::env::var("PERF_SMOKE").is_ok_and(|v| v == "1");
+    if epa_est.speedup() < 2.0 {
+        if gated {
+            eprintln!(
+                "PERF REGRESSION: epanechnikov estimate sweep speedup {:.2}x < 2x",
+                epa_est.speedup()
+            );
+            std::process::exit(1);
+        }
+        eprintln!(
+            "# warning: epanechnikov estimate sweep speedup {:.2}x < 2x (gate off)",
+            epa_est.speedup()
+        );
+    } else {
+        eprintln!(
+            "# simd gate ok: epanechnikov estimate sweep {:.2}x over scalar AoS",
+            epa_est.speedup()
+        );
+    }
+}
