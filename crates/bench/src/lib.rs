@@ -10,7 +10,9 @@
 //! * `--trace FILE` — write a JSONL telemetry trace (one structured
 //!   event per line: per-query outcomes, bandwidth-update steps),
 //! * `--metrics` — print a metrics summary (counters, gauges, latency
-//!   histograms) after the run.
+//!   histograms) after the run,
+//! * `--prom FILE` — write a Prometheus-style text exposition of every
+//!   touched metric at the end of the run.
 
 pub mod fig8;
 
@@ -18,8 +20,8 @@ use std::path::PathBuf;
 use std::sync::Arc;
 
 /// One-line usage text shared by `--help` and parse errors.
-pub const USAGE: &str =
-    "options: --full  --rows N  --reps N  --seed N  --csv  --trace FILE  --metrics";
+pub const USAGE: &str = "options: --full  --rows N  --reps N  --seed N  --csv  --trace FILE  \
+     --metrics  --prom FILE";
 
 /// Parsed common options.
 #[derive(Debug, Clone)]
@@ -38,6 +40,8 @@ pub struct Cli {
     pub trace: Option<PathBuf>,
     /// Print a metrics summary after the run.
     pub metrics: bool,
+    /// Prometheus-style text exposition destination.
+    pub prom: Option<PathBuf>,
     // Flushes the trace sink and prints the metrics table when the last
     // clone drops (i.e. at the end of `main`). `Arc` so `Clone` stays
     // cheap and the summary prints exactly once.
@@ -79,6 +83,7 @@ impl Cli {
             csv: false,
             trace: None,
             metrics: false,
+            prom: None,
             reporter: None,
         };
         fn value<I: Iterator<Item = String>>(
@@ -108,6 +113,9 @@ impl Cli {
                 "--trace" => {
                     cli.trace = Some(PathBuf::from(value(&mut it, "--trace", "a file path")?))
                 }
+                "--prom" => {
+                    cli.prom = Some(PathBuf::from(value(&mut it, "--prom", "a file path")?))
+                }
                 other => return Err(format!("unknown argument {other}; try --help")),
             }
         }
@@ -115,11 +123,11 @@ impl Cli {
     }
 
     /// Turns on the telemetry layer according to the parsed flags:
-    /// `--trace` installs a JSONL sink, either flag enables metric
-    /// collection. Without both flags this is a no-op and the
+    /// `--trace` installs a JSONL sink, any of the flags enables metric
+    /// collection. Without any of them this is a no-op and the
     /// instrumented code paths stay on their disabled fast path.
     fn activate_telemetry(&mut self) {
-        if self.trace.is_none() && !self.metrics {
+        if self.trace.is_none() && !self.metrics && self.prom.is_none() {
             return;
         }
         kdesel_telemetry::set_enabled(true);
@@ -134,6 +142,7 @@ impl Cli {
         }
         self.reporter = Some(Arc::new(TelemetryReporter {
             metrics: self.metrics,
+            prom: self.prom.clone(),
         }));
     }
 
@@ -156,6 +165,7 @@ impl Cli {
 #[derive(Debug)]
 struct TelemetryReporter {
     metrics: bool,
+    prom: Option<PathBuf>,
 }
 
 impl Drop for TelemetryReporter {
@@ -163,6 +173,12 @@ impl Drop for TelemetryReporter {
         kdesel_telemetry::flush_sink();
         if self.metrics {
             print_metrics_summary();
+        }
+        if let Some(path) = &self.prom {
+            let text = kdesel_telemetry::prometheus_text(kdesel_telemetry::registry());
+            if let Err(e) = std::fs::write(path, text) {
+                eprintln!("cannot write metrics exposition {}: {e}", path.display());
+            }
         }
     }
 }
@@ -177,7 +193,7 @@ pub fn print_metrics_summary() {
         return;
     }
     let sci = |v: f64| format!("{v:.3e}");
-    let mut table = TextTable::new(["metric", "kind", "value", "p50", "p90", "p99", "max"]);
+    let mut table = TextTable::new(["metric", "kind", "value", "p50", "p90", "p95", "p99", "max"]);
     for line in &lines {
         let (kind, value, quantiles) = match line.kind {
             MetricKind::Counter => ("counter", line.count.to_string(), None),
@@ -187,11 +203,11 @@ pub fn print_metrics_summary() {
                 (
                     "histogram",
                     format!("n={} mean={}s", h.count, sci(h.mean)),
-                    Some([sci(h.p50), sci(h.p90), sci(h.p99), sci(h.max)]),
+                    Some([sci(h.p50), sci(h.p90), sci(h.p95), sci(h.p99), sci(h.max)]),
                 )
             }
         };
-        let [p50, p90, p99, max] =
+        let [p50, p90, p95, p99, max] =
             quantiles.unwrap_or_else(|| std::array::from_fn(|_| "-".to_string()));
         table.row([
             line.name.clone(),
@@ -199,6 +215,7 @@ pub fn print_metrics_summary() {
             value,
             p50,
             p90,
+            p95,
             p99,
             max,
         ]);
@@ -355,12 +372,22 @@ mod tests {
 
     #[test]
     fn telemetry_flags_parse() {
-        let cli = parse(&["--trace", "/tmp/t.jsonl", "--metrics"]);
+        let cli = parse(&[
+            "--trace",
+            "/tmp/t.jsonl",
+            "--metrics",
+            "--prom",
+            "/tmp/m.prom",
+        ]);
         assert_eq!(
             cli.trace.as_deref(),
             Some(std::path::Path::new("/tmp/t.jsonl"))
         );
         assert!(cli.metrics);
+        assert_eq!(
+            cli.prom.as_deref(),
+            Some(std::path::Path::new("/tmp/m.prom"))
+        );
         // Parsing alone must not activate telemetry (that happens in
         // `Cli::parse`, i.e. only in real binaries).
         assert!(cli.reporter.is_none());

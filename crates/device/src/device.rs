@@ -63,6 +63,27 @@ pub struct DeviceStats {
     pub pool_misses: u64,
 }
 
+impl DeviceStats {
+    /// Field-wise difference `self - earlier`, attributing device
+    /// activity to one span of work (e.g. a single fused launch): snapshot
+    /// the stats before, again after, and `after.since(&before)` is what
+    /// that work cost. Counters are monotonic on one device, so
+    /// saturation only guards against mismatched snapshot pairs.
+    pub fn since(&self, earlier: &DeviceStats) -> DeviceStats {
+        DeviceStats {
+            uploads: self.uploads.saturating_sub(earlier.uploads),
+            bytes_up: self.bytes_up.saturating_sub(earlier.bytes_up),
+            downloads: self.downloads.saturating_sub(earlier.downloads),
+            bytes_down: self.bytes_down.saturating_sub(earlier.bytes_down),
+            kernels: self.kernels.saturating_sub(earlier.kernels),
+            d2d_copies: self.d2d_copies.saturating_sub(earlier.d2d_copies),
+            bytes_d2d: self.bytes_d2d.saturating_sub(earlier.bytes_d2d),
+            pool_hits: self.pool_hits.saturating_sub(earlier.pool_hits),
+            pool_misses: self.pool_misses.saturating_sub(earlier.pool_misses),
+        }
+    }
+}
+
 #[derive(Debug, Default)]
 struct Timing {
     modeled_seconds: f64,

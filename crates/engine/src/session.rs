@@ -76,14 +76,18 @@ pub fn run_query_via(
     region: &Rect,
 ) -> Result<QueryOutcome, kdesel_serve::ServeError> {
     let span = kdesel_telemetry::span("engine.query_seconds");
-    let estimate = serve.estimate(key, region)?;
+    // Keep the trace ID from submission so the feedback joins the same
+    // span tree (front door → batch → launch → feedback).
+    let pending = serve.submit(key, region)?;
+    let trace = pending.trace();
+    let estimate = pending.wait()?;
     let cardinality = table.count_in(region);
     let actual = if table.row_count() == 0 {
         0.0
     } else {
         cardinality as f64 / table.row_count() as f64
     };
-    serve.feedback(
+    serve.feedback_traced(
         key,
         QueryFeedback {
             region: region.clone(),
@@ -91,6 +95,7 @@ pub fn run_query_via(
             actual,
             cardinality,
         },
+        trace,
     )?;
     serve.flush(key)?;
     drop(span);
@@ -99,6 +104,7 @@ pub fn run_query_via(
         .f64("actual", actual)
         .f64("abs_error", (estimate - actual).abs())
         .u64("cardinality", cardinality)
+        .u64("trace", trace)
         .str("via", "serve")
         .emit();
     Ok(QueryOutcome {

@@ -39,6 +39,7 @@ pub use bandwidth::scott::scott_bandwidth;
 pub use estimator::KdeEstimator;
 pub use estimators::{AdaptiveKde, BatchKde, HeuristicKde, ScvKde};
 pub use karma::{KarmaConfig, KarmaMaintenance};
+pub use kdesel_solver::online::RmsPropConfig;
 pub use kernel::KernelFn;
 pub use loss::LossFunction;
 pub use mixed::{AttributeKind, MixedKde};

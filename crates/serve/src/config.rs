@@ -24,6 +24,14 @@ pub struct ServeConfig {
     pub maintenance_chunk: usize,
     /// Warm-restart checkpointing; `None` disables persistence.
     pub checkpoint: Option<CheckpointPolicy>,
+    /// Workload capture: when set, every registered model and every served
+    /// request/feedback (with its trace-span tree) is appended to this
+    /// versioned JSONL file, replayable with `kdesel-replay`.
+    pub capture: Option<PathBuf>,
+    /// When set, a Prometheus-style text snapshot of the metrics registry
+    /// is written here at shutdown (requires telemetry to be enabled for
+    /// the metrics to carry values).
+    pub metrics_dump: Option<PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -33,6 +41,8 @@ impl Default for ServeConfig {
             max_wait: Duration::from_micros(200),
             maintenance_chunk: 16,
             checkpoint: None,
+            capture: None,
+            metrics_dump: None,
         }
     }
 }

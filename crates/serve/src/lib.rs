@@ -40,21 +40,33 @@
 //! * **Warm restart** — periodic, on-demand, and on-shutdown
 //!   [`ModelSnapshot`](kdesel_kde::ModelSnapshot) JSON checkpoints per
 //!   registry entry, restored on the next [`ServiceBuilder::build`].
+//! * **Observability** — every request carries a trace ID minted at the
+//!   front door ([`ServeHandle::submit`]); workers emit a
+//!   `serve.request → serve.batch → serve.launch` span tree per traced
+//!   request (plus a `serve.feedback` child when the loop closes), an
+//!   optional JSONL workload capture ([`ServeConfig::capture`]) replays
+//!   bit-for-bit through [`replay`], and the per-model q-error drift
+//!   gauges of [`observatory`] feed a Prometheus-style exposition
+//!   ([`ServeHandle::prometheus`]).
 //!
 //! Latency-vs-throughput knobs live in [`ServeConfig`]; instrumentation
 //! (queue-depth gauge, batch-size and end-to-end latency histograms,
 //! coalescing-ratio counters) is registered under `serve.*` in
 //! `kdesel-telemetry`.
 
+pub mod capture;
 pub mod config;
 pub mod model;
+pub mod observatory;
 mod oneshot;
+pub mod replay;
 pub mod service;
 pub mod snapshot;
 mod worker;
 
 pub use config::{CheckpointPolicy, ServeConfig};
 pub use model::{ModelKey, RefreshFn, ServedModel};
+pub use replay::{Capture, ReplayOutcome, ReplaySpeed};
 pub use service::{PendingEstimate, ServeError, ServeHandle, Service, ServiceBuilder};
 pub use worker::WorkerReport;
 

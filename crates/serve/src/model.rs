@@ -62,6 +62,26 @@ impl ModelKey {
         }
         format!("{stem}-{hash:016x}")
     }
+
+    /// Human-readable, metrics-safe label for this key
+    /// (`orders_price_qty`): sanitized like [`file_stem`](Self::file_stem)
+    /// but without the hash suffix, so per-model metric names stay
+    /// legible on dashboards. Distinct keys that sanitize identically
+    /// share a label — acceptable for metrics, not for files.
+    pub fn metric_label(&self) -> String {
+        fn sanitize(out: &mut String, name: &str) {
+            for c in name.chars() {
+                out.push(if c.is_ascii_alphanumeric() { c } else { '_' });
+            }
+        }
+        let mut label = String::new();
+        sanitize(&mut label, &self.table);
+        for column in &self.columns {
+            label.push('_');
+            sanitize(&mut label, column);
+        }
+        label
+    }
 }
 
 impl fmt::Display for ModelKey {
@@ -153,10 +173,12 @@ impl ServedModel {
     /// this primes the fused estimate+gradient sweep (Karma consumes the
     /// retained per-point contributions; the tuner reuses the cached
     /// gradient), observes the feedback, then installs replacement tuples
-    /// from the refresh source. Returns the number of replaced points.
-    pub(crate) fn apply_feedback(&mut self, feedback: &QueryFeedback) -> usize {
+    /// from the refresh source. Returns the installed replacements as
+    /// `(slot, row)` pairs, so the worker can count them and the workload
+    /// capture can script an identical refresh during replay.
+    pub(crate) fn apply_feedback(&mut self, feedback: &QueryFeedback) -> Vec<(usize, Vec<f64>)> {
         match self {
-            Self::Static(_) => 0,
+            Self::Static(_) => Vec::new(),
             Self::Adaptive { kde, refresh } => {
                 // `estimate_batch` (the serving path) does not retain
                 // per-point contributions, so re-run the fused single-query
@@ -164,13 +186,13 @@ impl ServedModel {
                 // the synchronous Listing-1 loop, just off the hot path.
                 let _ = SelectivityEstimator::estimate(kde.as_mut(), &feedback.region);
                 kde.observe(feedback);
-                let mut replaced = 0;
+                let mut replaced = Vec::new();
                 let flagged = kde.take_pending_replacements();
                 if let Some(refresh) = refresh {
                     for index in flagged {
                         if let Some(row) = refresh(index) {
                             kde.replace_point(index, &row);
-                            replaced += 1;
+                            replaced.push((index, row));
                         }
                     }
                 }
@@ -273,7 +295,7 @@ mod tests {
             actual: 0.9,
             cardinality: 9,
         });
-        assert_eq!(replaced, 0);
+        assert!(replaced.is_empty());
         assert_eq!(model.estimate_batch(&[region]), before);
     }
 

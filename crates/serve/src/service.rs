@@ -1,6 +1,7 @@
 //! The service: registry construction, executor-thread lifecycle, and the
 //! cloneable [`ServeHandle`] callers use from any thread.
 
+use crate::capture::{ModelRecorder, Recorder};
 use crate::config::ServeConfig;
 use crate::model::{ModelKey, ServedModel};
 use crate::oneshot;
@@ -32,6 +33,8 @@ pub enum ServeError {
     DuplicateModel(String),
     /// Invalid [`ServeConfig`].
     Config(String),
+    /// Workload capture or metrics-dump IO failed.
+    Capture(String),
 }
 
 impl fmt::Display for ServeError {
@@ -45,6 +48,7 @@ impl fmt::Display for ServeError {
             Self::Snapshot(what) => write!(f, "snapshot error: {what}"),
             Self::DuplicateModel(key) => write!(f, "model {key} registered twice"),
             Self::Config(what) => write!(f, "invalid serve config: {what}"),
+            Self::Capture(what) => write!(f, "capture error: {what}"),
         }
     }
 }
@@ -70,9 +74,17 @@ pub struct ServeHandle {
 pub struct PendingEstimate {
     rx: oneshot::Receiver<f64>,
     key: String,
+    trace: u64,
 }
 
 impl PendingEstimate {
+    /// The trace ID minted for this request at submission. Pass it to
+    /// [`ServeHandle::feedback_traced`] so the eventual feedback joins
+    /// this request's span tree.
+    pub fn trace(&self) -> u64 {
+        self.trace
+    }
+
     /// Blocks until the batch containing this request is served.
     pub fn wait(self) -> Result<f64, ServeError> {
         self.rx
@@ -99,7 +111,10 @@ impl ServeHandle {
     }
 
     /// Enqueues an estimate without blocking; the scheduler may fuse it
-    /// with concurrent submissions into one launch.
+    /// with concurrent submissions into one launch. A fresh trace ID is
+    /// minted here — the service's front door — and rides with the
+    /// request through batching, launch, and (via
+    /// [`feedback_traced`](Self::feedback_traced)) feedback application.
     pub fn submit(
         &self,
         key: &ModelKey,
@@ -117,9 +132,11 @@ impl ServeHandle {
         if telemetry {
             self.queue_depth.add(1.0);
         }
+        let trace = kdesel_telemetry::next_trace_id();
         let sent = port.tx.send(Msg::Estimate(EstimateRequest {
             region: region.clone(),
             submitted: Instant::now(),
+            trace,
             reply,
         }));
         if sent.is_err() {
@@ -131,6 +148,7 @@ impl ServeHandle {
         Ok(PendingEstimate {
             rx,
             key: key.to_string(),
+            trace,
         })
     }
 
@@ -141,10 +159,26 @@ impl ServeHandle {
 
     /// Queues true-selectivity feedback for background maintenance. Never
     /// blocks on model work — the executor applies it between batches.
+    /// The feedback is untraced; to tie it to the request it answers, use
+    /// [`feedback_traced`](Self::feedback_traced).
     pub fn feedback(
         &self,
         key: &ModelKey,
         feedback: kdesel_types::QueryFeedback,
+    ) -> Result<(), ServeError> {
+        self.feedback_traced(key, feedback, 0)
+    }
+
+    /// Like [`feedback`](Self::feedback), but joins the span tree of the
+    /// request whose trace ID is `trace` (from
+    /// [`PendingEstimate::trace`]), closing the loop the paper's §4
+    /// feedback cycle describes: the `serve.feedback` span becomes a
+    /// child of that request's root span.
+    pub fn feedback_traced(
+        &self,
+        key: &ModelKey,
+        feedback: kdesel_types::QueryFeedback,
+        trace: u64,
     ) -> Result<(), ServeError> {
         let port = self.port(key)?;
         if feedback.region.dims() != port.dims {
@@ -154,7 +188,7 @@ impl ServeHandle {
             });
         }
         port.tx
-            .send(Msg::Feedback(feedback))
+            .send(Msg::Feedback { feedback, trace })
             .map_err(|_| ServeError::Disconnected(key.to_string()))
     }
 
@@ -181,6 +215,13 @@ impl ServeHandle {
         rx.recv()
             .map_err(|_| ServeError::Disconnected(key.to_string()))?
             .map_err(ServeError::Snapshot)
+    }
+
+    /// Renders the current telemetry registry as a Prometheus-style text
+    /// exposition — the observatory's on-demand snapshot (per-model
+    /// q-error quantiles, bandwidth gauges, scheduler histograms).
+    pub fn prometheus(&self) -> String {
+        kdesel_telemetry::prometheus_text(kdesel_telemetry::registry())
     }
 
     /// Snapshots the worker's counters and model state.
@@ -218,18 +259,20 @@ impl ServiceBuilder {
     }
 
     /// Validates the configuration, restores snapshots (when the policy
-    /// asks for it), and spawns one executor thread per model.
-    pub fn build(self) -> Result<Service, ServeError> {
+    /// asks for it), opens the workload capture (when configured — model
+    /// records reflect post-restore state), and spawns one executor
+    /// thread per model.
+    pub fn build(mut self) -> Result<Service, ServeError> {
         self.config.validate().map_err(ServeError::Config)?;
-        let mut ports = BTreeMap::new();
-        let mut workers = Vec::with_capacity(self.models.len());
-        for (key, mut model) in self.models {
-            if ports.contains_key(&key) {
+        for i in 0..self.models.len() {
+            let (before, rest) = self.models.split_at_mut(i);
+            let (key, model) = &mut rest[0];
+            if before.iter().any(|(other, _)| other == key) {
                 return Err(ServeError::DuplicateModel(key.to_string()));
             }
             if let Some(policy) = &self.config.checkpoint {
                 if policy.restore {
-                    match crate::snapshot::load(&policy.dir, &key) {
+                    match crate::snapshot::load(&policy.dir, key) {
                         Ok(Some(snapshot)) => model
                             .restore_in_place(&snapshot)
                             .map_err(|e| ServeError::Snapshot(format!("{key}: {e}")))?,
@@ -238,9 +281,23 @@ impl ServiceBuilder {
                     }
                 }
             }
+        }
+        let recorder = match &self.config.capture {
+            Some(path) => Some(Arc::new(
+                Recorder::create(path, &self.models).map_err(ServeError::Capture)?,
+            )),
+            None => None,
+        };
+        let mut ports = BTreeMap::new();
+        let mut workers = Vec::with_capacity(self.models.len());
+        for (key, model) in self.models {
             let (tx, rx) = mpsc::channel();
             let dims = model.dims();
-            let worker = Worker::new(key.clone(), model, self.config.clone(), rx);
+            let capture = recorder.as_ref().map(|recorder| ModelRecorder {
+                id: recorder.model_id(&key),
+                recorder: Arc::clone(recorder),
+            });
+            let worker = Worker::new(key.clone(), model, self.config.clone(), rx, capture);
             let thread = std::thread::Builder::new()
                 .name(format!("kdesel-serve:{key}"))
                 .spawn(move || worker.run())
@@ -254,6 +311,8 @@ impl ServiceBuilder {
                 queue_depth: kdesel_telemetry::gauge("serve.queue_depth"),
             },
             workers,
+            recorder,
+            metrics_dump: self.config.metrics_dump,
         })
     }
 }
@@ -264,6 +323,8 @@ impl ServiceBuilder {
 pub struct Service {
     handle: ServeHandle,
     workers: Vec<(ModelKey, JoinHandle<Result<(), String>>)>,
+    recorder: Option<Arc<Recorder>>,
+    metrics_dump: Option<std::path::PathBuf>,
 }
 
 impl Service {
@@ -297,6 +358,18 @@ impl Service {
             };
             if first_err.is_none() {
                 first_err = outcome;
+            }
+        }
+        // All workers have exited: the capture is complete, seal it.
+        if let Some(recorder) = self.recorder.take() {
+            recorder.finish();
+        }
+        if let Some(path) = self.metrics_dump.take() {
+            let text = kdesel_telemetry::prometheus_text(kdesel_telemetry::registry());
+            let written = std::fs::write(&path, text)
+                .map_err(|e| ServeError::Capture(format!("writing {}: {e}", path.display())));
+            if let (None, Err(e)) = (&first_err, written) {
+                first_err = Some(e);
             }
         }
         match first_err {

@@ -23,8 +23,21 @@ pub fn write_atomic(
         .map_err(|e| format!("creating checkpoint dir {}: {e}", dir.display()))?;
     let path = snapshot_path(dir, key);
     let tmp = path.with_extension("json.tmp");
-    fs::write(&tmp, snapshot.to_json())
-        .map_err(|e| format!("writing checkpoint {}: {e}", tmp.display()))?;
+    let json = snapshot.to_json();
+    // Observatory gauges: how stale was the checkpoint this write replaces
+    // (0 on the first write — nothing was at risk yet), and how large the
+    // on-disk state is. Sampled on every write, so a stuck checkpointer
+    // shows up as a monotonically aging snapshot in the metrics dump.
+    if kdesel_telemetry::enabled() {
+        let age = fs::metadata(&path)
+            .and_then(|m| m.modified())
+            .ok()
+            .and_then(|t| t.elapsed().ok())
+            .map_or(0.0, |d| d.as_secs_f64());
+        kdesel_telemetry::gauge("serve.snapshot_age_s").set(age);
+        kdesel_telemetry::gauge("serve.snapshot_bytes").set(json.len() as f64);
+    }
+    fs::write(&tmp, &json).map_err(|e| format!("writing checkpoint {}: {e}", tmp.display()))?;
     fs::rename(&tmp, &path)
         .map_err(|e| format!("publishing checkpoint {}: {e}", path.display()))?;
     Ok(path)
@@ -111,6 +124,21 @@ mod tests {
         let path = write_atomic(&dir, &key, &snap).unwrap();
         assert!(path.starts_with(&dir));
         assert_eq!(load(&dir, &key).unwrap(), Some(snap));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn write_sets_observatory_gauges() {
+        let dir = temp_dir("gauges");
+        let key = ModelKey::new("orders", &["price"]);
+        let snap = snapshot();
+        kdesel_telemetry::set_enabled(true);
+        write_atomic(&dir, &key, &snap).unwrap();
+        kdesel_telemetry::set_enabled(false);
+        let bytes = kdesel_telemetry::gauge("serve.snapshot_bytes").get();
+        assert_eq!(bytes, snap.to_json().len() as f64);
+        // First write: there was no previous checkpoint to age.
+        assert_eq!(kdesel_telemetry::gauge("serve.snapshot_age_s").get(), 0.0);
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -19,27 +19,36 @@
 //! estimates, applies the full feedback backlog, writes a final
 //! checkpoint, and exits.
 
+use crate::capture::ModelRecorder;
 use crate::config::ServeConfig;
 use crate::model::{ModelKey, ServedModel};
+use crate::observatory::Observatory;
 use crate::oneshot;
 use kdesel_device::DeviceStats;
+use kdesel_telemetry::{Event, SpanContext};
 use kdesel_types::{QueryFeedback, Rect};
 use std::collections::VecDeque;
 use std::sync::mpsc::{Receiver, RecvTimeoutError, TryRecvError};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// One selectivity probe in flight.
+/// One selectivity probe in flight, tagged with the trace ID minted at
+/// the front door.
 pub(crate) struct EstimateRequest {
     pub region: Rect,
     pub submitted: Instant,
+    pub trace: u64,
     pub reply: oneshot::Sender<f64>,
 }
 
 /// Messages a [`ServeHandle`](crate::ServeHandle) sends its worker.
 pub(crate) enum Msg {
     Estimate(EstimateRequest),
-    Feedback(QueryFeedback),
+    Feedback {
+        feedback: QueryFeedback,
+        /// Trace of the request this feedback answers (0 = untraced).
+        trace: u64,
+    },
     /// Replied to once the feedback backlog is empty — the barrier
     /// `run_query_via` uses to reproduce strict Listing-1 ordering.
     Flush(oneshot::Sender<()>),
@@ -113,9 +122,11 @@ pub(crate) struct Worker {
     model: ServedModel,
     config: ServeConfig,
     rx: Receiver<Msg>,
-    backlog: VecDeque<QueryFeedback>,
+    backlog: VecDeque<(QueryFeedback, u64)>,
     pending_flushes: Vec<oneshot::Sender<()>>,
     meters: Meters,
+    observatory: Observatory,
+    capture: Option<ModelRecorder>,
     last_checkpoint: Instant,
     shutting_down: bool,
     drained: bool,
@@ -134,13 +145,16 @@ impl Worker {
         model: ServedModel,
         config: ServeConfig,
         rx: Receiver<Msg>,
+        capture: Option<ModelRecorder>,
     ) -> Self {
         Self {
+            observatory: Observatory::new(&key),
             key,
             model,
             config,
             rx,
             backlog: VecDeque::new(),
+            capture,
             pending_flushes: Vec::new(),
             meters: Meters::resolve(),
             last_checkpoint: Instant::now(),
@@ -221,7 +235,7 @@ impl Worker {
     fn dispatch(&mut self, msg: Msg) {
         match msg {
             Msg::Estimate(first) => self.serve_batch(first),
-            Msg::Feedback(feedback) => self.backlog.push_back(feedback),
+            Msg::Feedback { feedback, trace } => self.backlog.push_back((feedback, trace)),
             Msg::Flush(reply) => self.pending_flushes.push(reply),
             Msg::Checkpoint(reply) => reply.send(self.checkpoint_now()),
             Msg::Report(reply) => reply.send(self.report()),
@@ -265,10 +279,18 @@ impl Worker {
         }
 
         let regions: Vec<Rect> = batch.iter().map(|r| r.region.clone()).collect();
+        let traced = kdesel_telemetry::tracing() || self.capture.is_some();
+        let stats_before = traced.then(|| self.model.estimator().device().stats());
+        let started = Instant::now();
         let estimates = self.model.estimate_batch(&regions);
+        let launch_seconds = started.elapsed().as_secs_f64();
         self.batches += 1;
         self.requests += batch.len() as u64;
         self.max_batch_seen = self.max_batch_seen.max(batch.len());
+        if let Some(before) = stats_before {
+            let launch_stats = self.model.estimator().device().stats().since(&before);
+            self.emit_request_spans(&batch, &estimates, launch_seconds, &launch_stats);
+        }
         if kdesel_telemetry::enabled() {
             self.meters.batches.inc();
             self.meters.requests.add(batch.len() as u64);
@@ -302,17 +324,103 @@ impl Worker {
         self.dispatch(msg);
     }
 
+    /// Routes one span event to the workload capture (always, when
+    /// configured) and to the global telemetry sink (when tracing).
+    fn emit(&self, event: Event) {
+        if let Some(capture) = &self.capture {
+            capture.recorder.record(event.clone());
+        }
+        kdesel_telemetry::emit_event(event);
+    }
+
+    /// Stamps each event with the capture-internal model ID when a
+    /// capture is active (trace-only events identify the model by key).
+    fn tag_model(&self, event: Event) -> Event {
+        match &self.capture {
+            Some(capture) => event.u64("m", capture.id),
+            None => event.str("model", self.key.to_string()),
+        }
+    }
+
+    /// Emits the per-request span trees for one fused launch: for every
+    /// request in the batch, a `serve.request` root span, a `serve.batch`
+    /// child recording how the scheduler grouped it, and a `serve.launch`
+    /// grandchild carrying the device-side cost of the shared launch.
+    fn emit_request_spans(
+        &self,
+        batch: &[EstimateRequest],
+        estimates: &[f64],
+        launch_seconds: f64,
+        launch_stats: &DeviceStats,
+    ) {
+        for (req, &estimate) in batch.iter().zip(estimates) {
+            let root = SpanContext::root_of(req.trace);
+            self.emit(
+                self.tag_model(Event::new("serve.request").ctx(&root))
+                    .f64_slice("lo", req.region.lo())
+                    .f64_slice("hi", req.region.hi())
+                    .f64("estimate", estimate)
+                    .f64("wait_s", req.submitted.elapsed().as_secs_f64()),
+            );
+            let batch_span = root.child();
+            self.emit(
+                Event::new("serve.batch")
+                    .ctx(&batch_span)
+                    .u64("seq", self.batches)
+                    .u64("size", batch.len() as u64),
+            );
+            self.emit(
+                Event::new("serve.launch")
+                    .ctx(&batch_span.child())
+                    .f64("launch_s", launch_seconds)
+                    .u64("kernels", launch_stats.kernels)
+                    .u64("uploads", launch_stats.uploads)
+                    .u64("bytes_up", launch_stats.bytes_up)
+                    .u64("downloads", launch_stats.downloads)
+                    .u64("bytes_down", launch_stats.bytes_down)
+                    .u64("pool_hits", launch_stats.pool_hits)
+                    .u64("pool_misses", launch_stats.pool_misses),
+            );
+        }
+    }
+
     fn run_maintenance(&mut self, limit: usize) {
         for _ in 0..limit {
-            let Some(feedback) = self.backlog.pop_front() else {
+            let Some((feedback, trace)) = self.backlog.pop_front() else {
                 break;
             };
             let replaced = self.model.apply_feedback(&feedback);
             self.maintenance_applied += 1;
-            self.replacements += replaced as u64;
+            self.replacements += replaced.len() as u64;
+            if kdesel_telemetry::tracing() || self.capture.is_some() {
+                let mut slots = String::new();
+                let mut rows = Vec::new();
+                for (slot, row) in &replaced {
+                    if !slots.is_empty() {
+                        slots.push(' ');
+                    }
+                    slots.push_str(&slot.to_string());
+                    rows.extend_from_slice(row);
+                }
+                self.emit(
+                    self.tag_model(
+                        Event::new("serve.feedback").ctx(&SpanContext::root_of(trace).child()),
+                    )
+                    .f64_slice("lo", feedback.region.lo())
+                    .f64_slice("hi", feedback.region.hi())
+                    .f64("estimate", feedback.estimate)
+                    .f64("actual", feedback.actual)
+                    .u64("cardinality", feedback.cardinality)
+                    .str("slots", slots)
+                    .f64_slice("rows", &rows),
+                );
+            }
             if kdesel_telemetry::enabled() {
                 self.meters.maintenance.inc();
-                self.meters.replacements.add(replaced as u64);
+                self.meters.replacements.add(replaced.len() as u64);
+                let bandwidth = self.model.estimator().bandwidth().to_vec();
+                self.observatory
+                    .observe(&feedback, &bandwidth, replaced.len());
             }
         }
         if kdesel_telemetry::enabled() {

@@ -30,6 +30,7 @@ fn mixed_traffic_stress_drains_cleanly() {
         max_wait: Duration::from_micros(100),
         maintenance_chunk: 8,
         checkpoint: Some(CheckpointPolicy::in_dir(&dir).every(Duration::from_millis(20))),
+        ..ServeConfig::default()
     })
     .register(
         fixed_key.clone(),

@@ -25,7 +25,69 @@ pub struct Event {
     pub fields: Vec<(&'static str, Value)>,
 }
 
+/// Renders a float slice as one space-separated string (`"0.5 1.25"`)
+/// using round-trip (`{:?}`) formatting, so each element parses back
+/// bit-exactly. The encoding shared by [`EventBuilder::f64_slice`] and
+/// direct [`Event`] construction.
+pub(crate) fn join_f64s(values: &[f64]) -> String {
+    let mut joined = String::with_capacity(values.len() * 12);
+    for (i, v) in values.iter().enumerate() {
+        if i > 0 {
+            joined.push(' ');
+        }
+        joined.push_str(&format!("{v:?}"));
+    }
+    joined
+}
+
 impl Event {
+    /// Starts an empty event stamped with the current telemetry time.
+    ///
+    /// Unlike [`crate::event`], this constructor is not gated on
+    /// [`crate::tracing`] — use it for records that must exist even when
+    /// the global sink is absent (e.g. workload capture files), and the
+    /// chainable field methods below to populate it.
+    pub fn new(name: &'static str) -> Self {
+        Self {
+            name,
+            at_seconds: crate::now_seconds(),
+            fields: Vec::new(),
+        }
+    }
+
+    /// Adds a float field.
+    pub fn f64(mut self, key: &'static str, value: f64) -> Self {
+        self.fields.push((key, Value::F64(value)));
+        self
+    }
+
+    /// Adds an unsigned integer field.
+    pub fn u64(mut self, key: &'static str, value: u64) -> Self {
+        self.fields.push((key, Value::U64(value)));
+        self
+    }
+
+    /// Adds a string field.
+    pub fn str(mut self, key: &'static str, value: impl AsRef<str>) -> Self {
+        self.fields
+            .push((key, Value::Str(value.as_ref().to_string())));
+        self
+    }
+
+    /// Adds a float-slice field in the space-separated round-trip
+    /// encoding (see [`EventBuilder::f64_slice`]).
+    pub fn f64_slice(mut self, key: &'static str, values: &[f64]) -> Self {
+        self.fields.push((key, Value::Str(join_f64s(values))));
+        self
+    }
+
+    /// Adds the `trace`/`span`/`parent` identity fields of `ctx`.
+    pub fn ctx(self, ctx: &crate::SpanContext) -> Self {
+        self.u64("trace", ctx.trace)
+            .u64("span", ctx.span)
+            .u64("parent", ctx.parent)
+    }
+
     /// Looks up a float field (also widening `u64` fields).
     pub fn get_f64(&self, key: &str) -> Option<f64> {
         self.fields
@@ -131,16 +193,16 @@ impl EventBuilder {
     /// dimensionality varies per model and keys must stay `'static`.
     pub fn f64_slice(mut self, key: &'static str, values: &[f64]) -> Self {
         if let Some(e) = self.event.as_mut() {
-            let mut joined = String::with_capacity(values.len() * 12);
-            for (i, v) in values.iter().enumerate() {
-                if i > 0 {
-                    joined.push(' ');
-                }
-                joined.push_str(&format!("{v:?}"));
-            }
-            e.fields.push((key, Value::Str(joined)));
+            e.fields.push((key, Value::Str(join_f64s(values))));
         }
         self
+    }
+
+    /// Adds the `trace`/`span`/`parent` identity fields of `ctx`.
+    pub fn ctx(self, ctx: &crate::SpanContext) -> Self {
+        self.u64("trace", ctx.trace)
+            .u64("span", ctx.span)
+            .u64("parent", ctx.parent)
     }
 
     /// Sends the event to the installed sink (no-op when inert).

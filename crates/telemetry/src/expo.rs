@@ -1,0 +1,131 @@
+//! Prometheus-style text exposition of the metrics registry.
+//!
+//! Renders every counter, gauge, and touched histogram as the plain-text
+//! format Prometheus scrapes (`# TYPE` headers, `name value` samples,
+//! histograms as summaries with `quantile` labels plus `_sum`/`_count`).
+//! This is a point-in-time snapshot, not a server: `kdesel-serve` dumps
+//! it on demand and at shutdown so an operator — or a scrape shim — can
+//! read convergence state without attaching a debugger.
+
+use crate::metrics::{MetricKind, Registry};
+
+/// Quantiles exported per histogram, chosen to match the latency
+/// percentiles in [`crate::HistogramSummary`].
+const QUANTILES: [(f64, &str); 4] = [(0.5, "0.5"), (0.9, "0.9"), (0.95, "0.95"), (0.99, "0.99")];
+
+/// Maps a registry metric name (`serve.request_seconds`) to a Prometheus
+/// identifier (`kdesel_serve_request_seconds`): every character outside
+/// `[a-zA-Z0-9_]` becomes `_`, and the `kdesel_` prefix namespaces the
+/// exposition.
+pub fn prometheus_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 8);
+    out.push_str("kdesel_");
+    for c in name.chars() {
+        out.push(if c.is_ascii_alphanumeric() || c == '_' {
+            c
+        } else {
+            '_'
+        });
+    }
+    out
+}
+
+fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        out.push_str(&format!("{v:?}"));
+    } else if v.is_nan() {
+        out.push_str("NaN");
+    } else if v > 0.0 {
+        out.push_str("+Inf");
+    } else {
+        out.push_str("-Inf");
+    }
+}
+
+/// Renders `registry` in the Prometheus text exposition format. Counters
+/// and gauges are one sample each; histograms become summaries with
+/// p50/p90/p95/p99 `quantile` labels plus `_sum` and `_count` samples.
+pub fn prometheus_text(registry: &Registry) -> String {
+    let mut out = String::new();
+    for line in registry.lines() {
+        let name = prometheus_name(&line.name);
+        match line.kind {
+            MetricKind::Counter => {
+                out.push_str(&format!("# TYPE {name} counter\n{name} {}\n", line.count));
+            }
+            MetricKind::Gauge => {
+                out.push_str(&format!("# TYPE {name} gauge\n{name} "));
+                push_f64(&mut out, line.value);
+                out.push('\n');
+            }
+            MetricKind::Histogram => {
+                let summary = line.histogram.expect("histogram line has a summary");
+                out.push_str(&format!("# TYPE {name} summary\n"));
+                let quantile_values = [summary.p50, summary.p90, summary.p95, summary.p99];
+                for ((_, label), value) in QUANTILES.iter().zip(quantile_values) {
+                    out.push_str(&format!("{name}{{quantile=\"{label}\"}} "));
+                    push_f64(&mut out, value);
+                    out.push('\n');
+                }
+                out.push_str(&format!("{name}_sum "));
+                push_f64(&mut out, summary.mean * summary.count as f64);
+                out.push('\n');
+                out.push_str(&format!("{name}_count {}\n", summary.count));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn name_sanitization_prefixes_and_replaces() {
+        assert_eq!(
+            prometheus_name("serve.request_seconds"),
+            "kdesel_serve_request_seconds"
+        );
+        assert_eq!(
+            prometheus_name("serve.model.orders-price/qty.qerror_p99"),
+            "kdesel_serve_model_orders_price_qty_qerror_p99"
+        );
+    }
+
+    #[test]
+    fn exposition_covers_all_metric_kinds() {
+        let r = Registry::new();
+        r.counter("test.requests").add(7);
+        r.gauge("test.depth").set(2.5);
+        for i in 1..=100 {
+            r.histogram("test.latency").record(i as f64 * 1e-3);
+        }
+        let text = prometheus_text(&r);
+        assert!(text.contains("# TYPE kdesel_test_requests counter\nkdesel_test_requests 7\n"));
+        assert!(text.contains("# TYPE kdesel_test_depth gauge\nkdesel_test_depth 2.5\n"));
+        assert!(text.contains("# TYPE kdesel_test_latency summary\n"));
+        for q in ["0.5", "0.9", "0.95", "0.99"] {
+            assert!(
+                text.contains(&format!("kdesel_test_latency{{quantile=\"{q}\"}} ")),
+                "missing quantile {q} in:\n{text}"
+            );
+        }
+        assert!(text.contains("kdesel_test_latency_count 100\n"));
+        assert!(text.contains("kdesel_test_latency_sum "));
+    }
+
+    #[test]
+    fn empty_histograms_are_omitted() {
+        let r = Registry::new();
+        r.histogram("test.untouched");
+        assert!(!prometheus_text(&r).contains("untouched"));
+    }
+
+    #[test]
+    fn non_finite_gauges_render_prometheus_style() {
+        let r = Registry::new();
+        r.gauge("test.inf").set(f64::INFINITY);
+        assert!(prometheus_text(&r).contains("kdesel_test_inf +Inf\n"));
+    }
+}

@@ -20,13 +20,17 @@
 //! resolution (done once per call site, not per operation).
 
 mod event;
+mod expo;
 mod json;
 mod metrics;
 mod sink;
+mod trace;
 
 pub use event::{Event, EventBuilder, Value};
+pub use expo::{prometheus_name, prometheus_text};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSummary, MetricKind, MetricLine, Registry};
-pub use sink::{EventSink, JsonlSink, NullSink, RingSink};
+pub use sink::{EventSink, JsonlSink, NullSink, RingSink, JSONL_SCHEMA_VERSION};
+pub use trace::{next_id as next_trace_id, SpanContext};
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
@@ -170,6 +174,17 @@ pub fn flush_sink() {
     let sink = sink_slot().lock().unwrap().clone();
     if let Some(sink) = sink {
         sink.flush();
+    }
+}
+
+/// Sends a pre-built [`Event`] to the installed sink. Dropped while
+/// [`tracing`] is false, mirroring [`event`]'s gating. This is the path
+/// for instrumentation that constructs events directly (e.g. span
+/// records fanned out to both a global sink and a capture file) instead
+/// of through the builder.
+pub fn emit_event(event: Event) {
+    if tracing() {
+        dispatch(event);
     }
 }
 

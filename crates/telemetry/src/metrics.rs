@@ -189,6 +189,7 @@ impl Histogram {
             mean: if count == 0 { 0.0 } else { sum / count as f64 },
             p50: self.quantile(0.5).unwrap_or(0.0),
             p90: self.quantile(0.9).unwrap_or(0.0),
+            p95: self.quantile(0.95).unwrap_or(0.0),
             p99: self.quantile(0.99).unwrap_or(0.0),
             max: self.quantile(1.0).unwrap_or(0.0),
         }
@@ -206,6 +207,8 @@ pub struct HistogramSummary {
     pub p50: f64,
     /// 90th percentile (bucket midpoint).
     pub p90: f64,
+    /// 95th percentile (bucket midpoint).
+    pub p95: f64,
     /// 99th percentile (bucket midpoint).
     pub p99: f64,
     /// Exact maximum.
@@ -375,6 +378,7 @@ mod tests {
         assert_eq!(s.count, 100);
         assert!((s.p50 - 0.050).abs() / 0.050 < 0.05, "p50 {}", s.p50);
         assert!((s.p90 - 0.090).abs() / 0.090 < 0.05, "p90 {}", s.p90);
+        assert!((s.p95 - 0.095).abs() / 0.095 < 0.05, "p95 {}", s.p95);
         assert!((s.p99 - 0.099).abs() / 0.099 < 0.05, "p99 {}", s.p99);
         assert_eq!(s.max, 0.100, "max is exact");
         assert!((s.mean - 0.0505).abs() < 1e-4, "mean {}", s.mean);

@@ -69,8 +69,16 @@ impl EventSink for RingSink {
     }
 }
 
+/// Schema version stamped into every [`JsonlSink`] line as a leading
+/// `"v"` field. Readers (the serve capture/replay loader) reject lines
+/// with a different version instead of silently mis-parsing, and treat
+/// an unparsable final line as a truncated file.
+pub const JSONL_SCHEMA_VERSION: u32 = 1;
+
 /// Writes one JSON object per line to a buffered writer (file or
-/// stderr). Lines are flushed on drop and on [`EventSink::flush`].
+/// stderr). Every line carries a leading `"v"` schema-version field
+/// ([`JSONL_SCHEMA_VERSION`]); lines are flushed on drop and on
+/// [`EventSink::flush`].
 pub struct JsonlSink {
     writer: Mutex<Box<dyn Write + Send>>,
 }
@@ -107,7 +115,14 @@ impl JsonlSink {
 
 impl EventSink for JsonlSink {
     fn emit(&self, event: &Event) {
-        let mut line = event.to_json();
+        // Inject the schema version as the first field: `to_json` always
+        // yields `{"event":...}`, so splicing after the brace is safe.
+        let json = event.to_json();
+        let mut line = String::with_capacity(json.len() + 8);
+        line.push_str("{\"v\":");
+        line.push_str(&JSONL_SCHEMA_VERSION.to_string());
+        line.push(',');
+        line.push_str(&json[1..]);
         line.push('\n');
         let mut writer = self.writer.lock().unwrap();
         // Telemetry must never take the process down: I/O errors are
@@ -176,7 +191,36 @@ mod tests {
         let text = String::from_utf8(bytes).unwrap();
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(lines.len(), 2);
-        assert_eq!(lines[0], r#"{"event":"a","t":0.0,"n":1}"#);
-        assert_eq!(lines[1], r#"{"event":"b","t":0.0,"n":2}"#);
+        assert_eq!(lines[0], r#"{"v":1,"event":"a","t":0.0,"n":1}"#);
+        assert_eq!(lines[1], r#"{"v":1,"event":"b","t":0.0,"n":2}"#);
+    }
+
+    #[test]
+    fn jsonl_sink_flushes_on_drop() {
+        // A capture must survive `drop` without an explicit flush —
+        // truncated tails should only come from crashes, not clean exits.
+        #[derive(Clone, Default)]
+        struct Counting(Arc<Mutex<(Vec<u8>, usize)>>);
+        impl Write for Counting {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().0.extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                self.0.lock().unwrap().1 += 1;
+                Ok(())
+            }
+        }
+        let shared = Counting::default();
+        {
+            let sink = JsonlSink::from_writer(Box::new(shared.clone()));
+            sink.emit(&event("a", 1));
+        } // dropped here, never explicitly flushed
+        let (bytes, flushes) = {
+            let guard = shared.0.lock().unwrap();
+            (guard.0.clone(), guard.1)
+        };
+        assert!(flushes >= 1, "drop must flush the writer");
+        assert!(String::from_utf8(bytes).unwrap().ends_with("\"n\":1}\n"));
     }
 }

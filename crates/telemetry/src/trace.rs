@@ -1,0 +1,106 @@
+//! Trace and span identity: the propagation context that turns flat
+//! events into a per-request tree.
+//!
+//! A *trace* follows one logical request across threads (front door →
+//! coalescing scheduler → fused device launch → feedback maintenance);
+//! a *span* is one timed operation inside it. IDs are minted from one
+//! process-global counter, so they are unique within a process and —
+//! unlike random IDs — deterministic enough for tests to reason about.
+//!
+//! Conventions kept deliberately simple (and relied on by the serve
+//! capture/replay loader):
+//!
+//! * the **root span** of a trace reuses the trace ID as its span ID and
+//!   has `parent == 0`;
+//! * child spans mint a fresh span ID and point `parent` at their
+//!   parent's span ID;
+//! * `trace == 0` means "untraced" — instrumentation for such work may
+//!   be skipped entirely.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Mints a fresh nonzero trace/span ID. Cheap (one relaxed atomic), so
+/// front doors can mint unconditionally even with telemetry disabled.
+#[inline]
+pub fn next_id() -> u64 {
+    NEXT_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Identity of one span within a trace, carried across thread hops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanContext {
+    /// Trace this span belongs to (0 = untraced).
+    pub trace: u64,
+    /// This span's ID (root spans reuse the trace ID).
+    pub span: u64,
+    /// Parent span ID (0 for the root).
+    pub parent: u64,
+}
+
+impl SpanContext {
+    /// The root span of a fresh trace: `span == trace`, no parent.
+    pub fn root() -> Self {
+        let trace = next_id();
+        Self {
+            trace,
+            span: trace,
+            parent: 0,
+        }
+    }
+
+    /// Reconstructs the root context of an existing trace ID (used when
+    /// the ID traveled without its context, e.g. through a channel).
+    pub fn root_of(trace: u64) -> Self {
+        Self {
+            trace,
+            span: trace,
+            parent: 0,
+        }
+    }
+
+    /// A child span of this one, with a freshly minted span ID.
+    pub fn child(&self) -> Self {
+        Self {
+            trace: self.trace,
+            span: next_id(),
+            parent: self.span,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_unique_and_nonzero() {
+        let a = next_id();
+        let b = next_id();
+        assert_ne!(a, 0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn root_reuses_trace_id_and_children_chain() {
+        let root = SpanContext::root();
+        assert_eq!(root.span, root.trace);
+        assert_eq!(root.parent, 0);
+        let child = root.child();
+        assert_eq!(child.trace, root.trace);
+        assert_eq!(child.parent, root.span);
+        assert_ne!(child.span, root.span);
+        let grandchild = child.child();
+        assert_eq!(grandchild.parent, child.span);
+        assert_eq!(grandchild.trace, root.trace);
+    }
+
+    #[test]
+    fn root_of_reconstructs_without_minting() {
+        let ctx = SpanContext::root_of(42);
+        assert_eq!(ctx.trace, 42);
+        assert_eq!(ctx.span, 42);
+        assert_eq!(ctx.parent, 0);
+    }
+}

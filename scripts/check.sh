@@ -19,6 +19,17 @@ run cargo test -q --offline --release -p kdesel-serve -- --ignored
 run cargo clippy --offline --workspace --all-targets -- -D warnings
 run cargo fmt --check --all
 
+# Capture/replay determinism gate: record a 200-request mixed-tenant
+# workload, then verify its span trees and replay it at max speed.
+# kdesel-replay exits non-zero on any bitwise estimate mismatch or
+# dropped/incomplete span.
+replay_dir="$(mktemp -d)"
+trap 'rm -rf "$replay_dir"' EXIT
+run cargo run --release --offline --bin kdesel-replay -- \
+    record --out "$replay_dir/capture.jsonl" --requests 200
+run cargo run --release --offline --bin kdesel-replay -- \
+    run --capture "$replay_dir/capture.jsonl" --speed max
+
 # Optional perf gate: PERF_SMOKE=1 scripts/check.sh additionally runs the
 # fusion, serving and SIMD microbenches and fails on a >2x modeled-cost
 # regression of the estimate hot path, <2x modeled coalescing at batch 16,

@@ -34,6 +34,7 @@ pub use kdesel_sample as sample;
 pub use kdesel_serve as serve;
 pub use kdesel_solver as solver;
 pub use kdesel_storage as storage;
+pub use kdesel_telemetry as telemetry;
 pub use kdesel_types as types;
 
 pub use kdesel_types::{
