@@ -15,6 +15,7 @@
 //!   touched metric at the end of the run.
 
 pub mod fig8;
+pub mod history;
 
 use std::path::PathBuf;
 use std::sync::Arc;

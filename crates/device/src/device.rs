@@ -2,6 +2,7 @@
 
 use crate::cost::{CostModel, CostProfile};
 use crate::pool::BufferPool;
+use crate::profile::{DeviceProfile, KindMeters, Launch, LaunchKind, Profiler};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
@@ -24,6 +25,17 @@ impl Backend {
             Backend::CpuSeq => "cpu-seq",
             Backend::CpuPar => "cpu-par",
             Backend::SimGpu => "sim-gpu",
+        }
+    }
+
+    /// Inverse of [`Backend::name`]; `None` for unknown names. Used by
+    /// `kdesel-calibrate` and the measured-profile loader.
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "cpu-seq" => Some(Backend::CpuSeq),
+            "cpu-par" => Some(Backend::CpuPar),
+            "sim-gpu" => Some(Backend::SimGpu),
+            _ => None,
         }
     }
 }
@@ -61,6 +73,11 @@ pub struct DeviceStats {
     /// Tiny buffers that bypass the pool by design (short bound lists,
     /// scalar results) count as neither hit nor miss.
     pub pool_misses: u64,
+    /// Bytes parked on the buffer pool's free lists at snapshot time.
+    /// Unlike every other field this is a *level*, not a monotone
+    /// counter: [`DeviceStats::since`] reports how much it grew during a
+    /// span (saturating at zero when buffers were reclaimed instead).
+    pub pool_held_bytes: u64,
 }
 
 impl DeviceStats {
@@ -68,18 +85,49 @@ impl DeviceStats {
     /// activity to one span of work (e.g. a single fused launch): snapshot
     /// the stats before, again after, and `after.since(&before)` is what
     /// that work cost. Counters are monotonic on one device, so
-    /// saturation only guards against mismatched snapshot pairs.
+    /// saturation only guards against mismatched snapshot pairs (and the
+    /// `pool_held_bytes` level, which may legitimately shrink).
+    ///
+    /// Both sides are destructured without `..`, so adding a field to
+    /// `DeviceStats` fails to compile here until the new field is
+    /// deltaed too — a new counter can never silently read as a lifetime
+    /// total inside launch spans.
     pub fn since(&self, earlier: &DeviceStats) -> DeviceStats {
+        let DeviceStats {
+            uploads,
+            bytes_up,
+            downloads,
+            bytes_down,
+            kernels,
+            d2d_copies,
+            bytes_d2d,
+            pool_hits,
+            pool_misses,
+            pool_held_bytes,
+        } = *self;
+        let DeviceStats {
+            uploads: e_uploads,
+            bytes_up: e_bytes_up,
+            downloads: e_downloads,
+            bytes_down: e_bytes_down,
+            kernels: e_kernels,
+            d2d_copies: e_d2d_copies,
+            bytes_d2d: e_bytes_d2d,
+            pool_hits: e_pool_hits,
+            pool_misses: e_pool_misses,
+            pool_held_bytes: e_pool_held_bytes,
+        } = *earlier;
         DeviceStats {
-            uploads: self.uploads.saturating_sub(earlier.uploads),
-            bytes_up: self.bytes_up.saturating_sub(earlier.bytes_up),
-            downloads: self.downloads.saturating_sub(earlier.downloads),
-            bytes_down: self.bytes_down.saturating_sub(earlier.bytes_down),
-            kernels: self.kernels.saturating_sub(earlier.kernels),
-            d2d_copies: self.d2d_copies.saturating_sub(earlier.d2d_copies),
-            bytes_d2d: self.bytes_d2d.saturating_sub(earlier.bytes_d2d),
-            pool_hits: self.pool_hits.saturating_sub(earlier.pool_hits),
-            pool_misses: self.pool_misses.saturating_sub(earlier.pool_misses),
+            uploads: uploads.saturating_sub(e_uploads),
+            bytes_up: bytes_up.saturating_sub(e_bytes_up),
+            downloads: downloads.saturating_sub(e_downloads),
+            bytes_down: bytes_down.saturating_sub(e_bytes_down),
+            kernels: kernels.saturating_sub(e_kernels),
+            d2d_copies: d2d_copies.saturating_sub(e_d2d_copies),
+            bytes_d2d: bytes_d2d.saturating_sub(e_bytes_d2d),
+            pool_hits: pool_hits.saturating_sub(e_pool_hits),
+            pool_misses: pool_misses.saturating_sub(e_pool_misses),
+            pool_held_bytes: pool_held_bytes.saturating_sub(e_pool_held_bytes),
         }
     }
 }
@@ -89,6 +137,7 @@ struct Timing {
     modeled_seconds: f64,
     measured_seconds: f64,
     stats: DeviceStats,
+    profile: Profiler,
 }
 
 /// A device-resident buffer of `f64` values.
@@ -233,6 +282,8 @@ struct Meters {
     measured_us: Arc<kdesel_telemetry::Gauge>,
     /// Bytes currently staged column-major on this device.
     soa_bytes: Arc<kdesel_telemetry::Gauge>,
+    /// Per-launch-kind latency histograms (`device.kernel.<kind>`).
+    kinds: KindMeters,
 }
 
 impl Meters {
@@ -248,6 +299,7 @@ impl Meters {
             modeled_us: r.gauge(&format!("device.modeled_us.{}", backend.name())),
             measured_us: r.gauge(&format!("device.measured_us.{}", backend.name())),
             soa_bytes: r.gauge("device.soa_staged_bytes"),
+            kinds: KindMeters::new(),
         }
     }
 }
@@ -344,12 +396,22 @@ impl Device {
     }
 
     /// Transfer/kernel counters, with the buffer pool's hit/miss tallies
-    /// merged in.
+    /// and current held bytes merged in.
     pub fn stats(&self) -> DeviceStats {
         let mut stats = self.timing.lock().unwrap().stats;
         stats.pool_hits = self.pool.hits();
         stats.pool_misses = self.pool.misses();
+        stats.pool_held_bytes = self.pool.held_bytes();
         stats
+    }
+
+    /// Measured launch profile: per-kind lifetime totals and rolling
+    /// p50/p95 wall times for every hot path this device has run (see
+    /// [`crate::profile`]). The serve scheduler reads this to size its
+    /// adaptive batching window; `kdesel-calibrate` reads it to fit a
+    /// measured [`CostProfile`].
+    pub fn profile(&self) -> DeviceProfile {
+        self.timing.lock().unwrap().profile.snapshot()
     }
 
     /// Bytes currently parked on this device's buffer-pool free lists.
@@ -366,6 +428,7 @@ impl Device {
 
     fn charge<T>(
         &self,
+        launch: Launch,
         modeled: f64,
         mutate: impl FnOnce(&mut DeviceStats),
         run: impl FnOnce() -> T,
@@ -376,6 +439,7 @@ impl Device {
         let mut t = self.timing.lock().unwrap();
         t.modeled_seconds += modeled;
         t.measured_seconds += measured;
+        t.profile.record(launch, modeled, measured);
         let before = t.stats;
         mutate(&mut t.stats);
         let after = t.stats;
@@ -393,6 +457,7 @@ impl Device {
             m.d2d_copies.add(after.d2d_copies - before.d2d_copies);
             m.modeled_us.add(modeled * 1e6);
             m.measured_us.add(measured * 1e6);
+            m.kinds.record(launch.kind, measured);
         }
         out
     }
@@ -404,6 +469,7 @@ impl Device {
     pub fn upload(&self, host: &[f64]) -> DeviceBuffer {
         let bytes = std::mem::size_of_val(host);
         self.charge(
+            Launch::transfer(LaunchKind::Upload, bytes),
             self.cost.transfer(bytes),
             |s| {
                 s.uploads += 1;
@@ -428,6 +494,7 @@ impl Device {
         assert!(offset + values.len() <= buf.data.len(), "device write OOB");
         let bytes = std::mem::size_of_val(values);
         self.charge(
+            Launch::transfer(LaunchKind::WriteAt, bytes),
             self.cost.transfer(bytes),
             |s| {
                 s.uploads += 1;
@@ -441,6 +508,7 @@ impl Device {
     pub fn download(&self, buf: &DeviceBuffer) -> Vec<f64> {
         let bytes = std::mem::size_of_val(buf.data.as_slice());
         self.charge(
+            Launch::transfer(LaunchKind::Download, bytes),
             self.cost.transfer(bytes),
             |s| {
                 s.downloads += 1;
@@ -458,6 +526,7 @@ impl Device {
     pub fn copy_buffer(&self, buf: &DeviceBuffer) -> DeviceBuffer {
         let bytes = std::mem::size_of_val(buf.data.as_slice());
         self.charge(
+            Launch::kernel(LaunchKind::CopyBuffer, buf.data.len(), 2.0, 0),
             self.cost.kernel(buf.data.len(), 2.0),
             |s| {
                 s.kernels += 1;
@@ -541,6 +610,7 @@ impl Device {
     {
         let rows = buf.data.len() / dims;
         self.charge(
+            Launch::kernel(LaunchKind::MapRows, rows, flops_per_row, 0),
             self.cost.kernel(rows, flops_per_row),
             |s| s.kernels += 1,
             || {
@@ -583,6 +653,12 @@ impl Device {
         let modeled = self.cost.kernel(rows, flops_per_row + 4.0)
             + self.cost.transfer(std::mem::size_of::<f64>());
         self.charge(
+            Launch::kernel(
+                LaunchKind::MapRowsReduce,
+                rows,
+                flops_per_row + 4.0,
+                std::mem::size_of::<f64>(),
+            ),
             modeled,
             |s| {
                 s.kernels += 1;
@@ -618,6 +694,7 @@ impl Device {
     {
         let rows = buf.data.len() / dims;
         self.charge(
+            Launch::kernel(LaunchKind::MapRowsMulti, rows, flops_per_row, 0),
             self.cost.kernel(rows, flops_per_row),
             |s| s.kernels += 1,
             || {
@@ -664,6 +741,12 @@ impl Device {
             .kernel(rows, flops_per_row + 4.0 * out_width as f64)
             + self.cost.transfer(result_bytes);
         self.charge(
+            Launch::kernel(
+                LaunchKind::MapRowsMultiReduce,
+                rows,
+                flops_per_row + 4.0 * out_width as f64,
+                result_bytes,
+            ),
             modeled,
             |s| {
                 s.kernels += 1;
@@ -727,6 +810,7 @@ impl Device {
         let rows = host_rows.len() / dims;
         let bytes = std::mem::size_of_val(host_rows);
         let buf = self.charge(
+            Launch::transfer(LaunchKind::StageRowsSoa, bytes),
             self.cost.transfer(bytes),
             |s| {
                 s.uploads += 1;
@@ -768,6 +852,7 @@ impl Device {
         );
         let bytes = std::mem::size_of_val(values);
         self.charge(
+            Launch::transfer(LaunchKind::WriteRowSoa, bytes),
             self.cost.transfer(bytes),
             |s| {
                 s.uploads += 1;
@@ -786,6 +871,7 @@ impl Device {
     pub fn download_rows_soa(&self, buf: &SoaBuffer) -> Vec<f64> {
         let bytes = std::mem::size_of_val(buf.buf.data.as_slice());
         self.charge(
+            Launch::transfer(LaunchKind::DownloadRowsSoa, bytes),
             self.cost.transfer(bytes),
             |s| {
                 s.downloads += 1;
@@ -860,6 +946,12 @@ impl Device {
         let modeled = self.cost.kernel_vectorized(rows, flops_per_row + 4.0)
             + self.cost.transfer(std::mem::size_of::<f64>());
         self.charge(
+            Launch::kernel(
+                LaunchKind::SweepReduce,
+                rows,
+                flops_per_row + 4.0,
+                std::mem::size_of::<f64>(),
+            ),
             modeled,
             |s| {
                 s.kernels += 1;
@@ -896,6 +988,7 @@ impl Device {
     {
         let rows = sample.rows;
         self.charge(
+            Launch::kernel(LaunchKind::SweepMulti, rows, flops_per_row, 0),
             self.cost.kernel_vectorized(rows, flops_per_row),
             |s| s.kernels += 1,
             || {
@@ -933,6 +1026,12 @@ impl Device {
             .kernel_vectorized(rows, flops_per_row + 4.0 * out_width as f64)
             + self.cost.transfer(result_bytes);
         self.charge(
+            Launch::kernel(
+                LaunchKind::SweepMultiReduce,
+                rows,
+                flops_per_row + 4.0 * out_width as f64,
+                result_bytes,
+            ),
             modeled,
             |s| {
                 s.kernels += 1;
@@ -981,6 +1080,7 @@ impl Device {
     {
         let n = buf.data.len();
         self.charge(
+            Launch::kernel(LaunchKind::UpdateInplace, n, flops_per_item, 0),
             self.cost.kernel(n, flops_per_item),
             |s| s.kernels += 1,
             || match self.backend {
@@ -1019,6 +1119,7 @@ impl Device {
         );
         let n = target.data.len();
         self.charge(
+            Launch::kernel(LaunchKind::ZipUpdateInplace, n, flops_per_item, 0),
             self.cost.kernel(n, flops_per_item),
             |s| s.kernels += 1,
             || match self.backend {
@@ -1041,6 +1142,7 @@ impl Device {
         let n = buf.data.len();
         let modeled = self.cost.reduction(n) + self.cost.transfer(std::mem::size_of::<f64>());
         self.charge(
+            Launch::kernel(LaunchKind::ReduceSum, n, 4.0, std::mem::size_of::<f64>()),
             modeled,
             |s| {
                 s.kernels += 2;
@@ -1062,6 +1164,12 @@ impl Device {
         let modeled =
             self.cost.reduction(n * width) + self.cost.transfer(width * std::mem::size_of::<f64>());
         self.charge(
+            Launch::kernel(
+                LaunchKind::ReduceSumColumns,
+                n * width,
+                4.0,
+                width * std::mem::size_of::<f64>(),
+            ),
             modeled,
             |s| {
                 s.kernels += 2;
@@ -1399,7 +1507,18 @@ mod tests {
         assert!(d.modeled_seconds() > after_upload);
         d.reset_timing();
         assert_eq!(d.modeled_seconds(), 0.0);
-        assert_eq!(d.stats(), DeviceStats::default());
+        // Counters reset; pool occupancy is state, not a window, so the
+        // held-bytes level survives (the dropped map output parked its
+        // storage on the free list).
+        let s = d.stats();
+        assert_eq!(
+            s,
+            DeviceStats {
+                pool_held_bytes: s.pool_held_bytes,
+                ..DeviceStats::default()
+            }
+        );
+        assert_eq!(d.profile(), crate::profile::DeviceProfile::default());
     }
 
     #[test]
@@ -1816,5 +1935,125 @@ mod tests {
         let buf = d.upload(&vec![1.0; 100_000]);
         let _ = d.map_rows(&buf, 1, 1.0, |r| r[0].sqrt());
         assert!(d.measured_seconds() > 0.0);
+    }
+
+    #[test]
+    fn since_deltas_every_field() {
+        // Both literals spell out every field (no `..`): adding a field
+        // to DeviceStats breaks this test until its delta is asserted,
+        // complementing the compile-time exhaustive destructure inside
+        // `since` itself.
+        let earlier = DeviceStats {
+            uploads: 2,
+            bytes_up: 100,
+            downloads: 3,
+            bytes_down: 50,
+            kernels: 7,
+            d2d_copies: 1,
+            bytes_d2d: 10,
+            pool_hits: 4,
+            pool_misses: 2,
+            pool_held_bytes: 1000,
+        };
+        let later = DeviceStats {
+            uploads: 5,
+            bytes_up: 300,
+            downloads: 4,
+            bytes_down: 90,
+            kernels: 17,
+            d2d_copies: 3,
+            bytes_d2d: 30,
+            pool_hits: 9,
+            pool_misses: 3,
+            pool_held_bytes: 1500,
+        };
+        let delta = later.since(&earlier);
+        assert_eq!(
+            delta,
+            DeviceStats {
+                uploads: 3,
+                bytes_up: 200,
+                downloads: 1,
+                bytes_down: 40,
+                kernels: 10,
+                d2d_copies: 2,
+                bytes_d2d: 20,
+                pool_hits: 5,
+                pool_misses: 1,
+                pool_held_bytes: 500,
+            }
+        );
+        // Mismatched snapshot pairs (or a shrinking held-bytes level)
+        // saturate to zero instead of wrapping.
+        assert_eq!(earlier.since(&later), DeviceStats::default());
+    }
+
+    #[test]
+    fn launch_profile_attributes_every_hot_path() {
+        use crate::profile::LaunchKind;
+        let d = Device::new(Backend::SimGpu);
+        let host: Vec<f64> = (0..96).map(|i| i as f64).collect();
+        let buf = d.upload(&host);
+        let soa = d.stage_rows_soa(&host, 3);
+        let mapped = d.map_rows(&buf, 3, 5.0, |r| r[0]);
+        let _ = d.map_rows_reduce(&buf, 3, 5.0, false, |r| r[0]);
+        let _ = d.sweep_reduce(&soa, 5.0, false, |cols, out| {
+            out.copy_from_slice(&cols.col(0)[..out.len()])
+        });
+        let _ = d.reduce_sum(&mapped);
+        let _ = d.download(&mapped);
+
+        let p = d.profile();
+        let up = p.kind(LaunchKind::Upload).expect("upload profiled");
+        assert_eq!(up.launches, 1);
+        assert_eq!(up.bytes, 96 * 8);
+        assert_eq!(up.items, 0);
+        assert!(up.measured_seconds > 0.0);
+        assert!(up.modeled_seconds > 0.0);
+
+        let sweep = p.kind(LaunchKind::SweepReduce).expect("sweep profiled");
+        assert_eq!(sweep.launches, 1);
+        assert_eq!(sweep.items, 32); // 96 elements / 3 dims
+        assert_eq!(sweep.bytes, 8); // the fused scalar readback
+        assert_eq!(sweep.flops, 32.0 * 9.0); // flops_per_row + 4 reduce
+        assert!(sweep.measured_p50 > 0.0);
+        assert!(sweep.measured_p95 >= sweep.measured_p50);
+
+        let mr = p.kind(LaunchKind::MapRowsReduce).expect("fused profiled");
+        assert_eq!((mr.launches, mr.items, mr.bytes), (1, 32, 8));
+        assert!(p.kind(LaunchKind::ReduceSum).is_some());
+        assert!(p.kind(LaunchKind::Download).is_some());
+        assert!(p.kind(LaunchKind::StageRowsSoa).is_some());
+        // Never ran: omitted rather than zero-filled.
+        assert!(p.kind(LaunchKind::WriteRowSoa).is_none());
+        assert_eq!(p.launches(), 7);
+        assert!(p.kernel_p50_ceiling() > 0.0);
+
+        // Rolling quantiles move with recent samples; totals keep
+        // growing past the window.
+        for _ in 0..200 {
+            let _ = d.map_rows_reduce(&buf, 3, 5.0, false, |r| r[0]);
+        }
+        let mr = d.profile();
+        let mr = mr.kind(LaunchKind::MapRowsReduce).unwrap();
+        assert_eq!(mr.launches, 201);
+        assert_eq!(mr.items, 201 * 32);
+    }
+
+    #[test]
+    fn kind_histograms_reach_the_registry_when_enabled() {
+        kdesel_telemetry::set_enabled(true);
+        let d = Device::new(Backend::CpuSeq);
+        let buf = d.upload(&[1.0; 32]);
+        let _ = d.map_rows_reduce(&buf, 2, 4.0, false, |r| r[0]);
+        kdesel_telemetry::set_enabled(false);
+        let reg = kdesel_telemetry::registry();
+        assert!(reg.histogram("device.kernel.upload").summary().count >= 1);
+        assert!(
+            reg.histogram("device.kernel.map_rows_reduce")
+                .summary()
+                .count
+                >= 1
+        );
     }
 }

@@ -54,16 +54,20 @@
 //! exactly that and adds its own compile-time audit for the estimator
 //! types.
 
+pub mod calibrate;
 pub mod cost;
 pub mod device;
 pub mod multi;
 mod pool;
+pub mod profile;
 
+pub use calibrate::{CalibrationConfig, FitReport, MeasuredPoint, MeasuredProfile};
 pub use cost::{CostModel, CostProfile};
 pub use device::{
     Backend, ColsView, Device, DeviceBuffer, DeviceStats, SoaBuffer, SWEEP_BLOCK_ROWS,
 };
 pub use multi::{DeviceGroup, PartitionedBuffer};
+pub use profile::{DeviceProfile, KindProfile, Launch, LaunchKind};
 
 /// Compile-time pin of the thread-ownership contract documented above.
 /// If a field change makes any of these types lose `Send`/`Sync`, this
@@ -77,4 +81,6 @@ fn thread_contract() {
     send_and_sync::<SoaBuffer>();
     send_and_sync::<DeviceGroup>();
     send_and_sync::<PartitionedBuffer>();
+    send_and_sync::<DeviceProfile>();
+    send_and_sync::<MeasuredProfile>();
 }

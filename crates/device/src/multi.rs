@@ -12,7 +12,8 @@
 //! latency floor stays put — the same structural behaviour real multi-GPU
 //! setups show.
 
-use crate::device::{Device, DeviceBuffer};
+use crate::cost::CostProfile;
+use crate::device::{Backend, Device, DeviceBuffer};
 
 /// A group of devices executing one logical kernel data-parallel.
 #[derive(Debug)]
@@ -42,6 +43,22 @@ impl DeviceGroup {
     pub fn new(devices: Vec<Device>) -> Self {
         assert!(!devices.is_empty(), "empty device group");
         Self { devices }
+    }
+
+    /// Creates a group of `count` identical devices sharing one cost
+    /// profile — the natural constructor for a profile produced by
+    /// calibration (`MeasuredProfile::profile`), where every member of
+    /// the group is the same physical device class.
+    ///
+    /// # Panics
+    /// Panics when `count` is zero.
+    pub fn homogeneous(backend: Backend, profile: CostProfile, count: usize) -> Self {
+        assert!(count > 0, "empty device group");
+        Self::new(
+            (0..count)
+                .map(|_| Device::with_profile(backend, profile))
+                .collect(),
+        )
     }
 
     /// Number of devices.

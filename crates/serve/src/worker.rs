@@ -32,6 +32,12 @@ use std::sync::mpsc::{Receiver, RecvTimeoutError, TryRecvError};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+/// Measured fused-launch wall times kept for the adaptive batching
+/// deadline — enough history to smooth scheduler jitter, short enough to
+/// track a model whose per-launch cost drifts (sample growth, backend
+/// warm-up).
+const LAUNCH_WINDOW: usize = 32;
+
 /// One selectivity probe in flight, tagged with the trace ID minted at
 /// the front door.
 pub(crate) struct EstimateRequest {
@@ -123,6 +129,9 @@ pub(crate) struct Worker {
     config: ServeConfig,
     rx: Receiver<Msg>,
     backlog: VecDeque<(QueryFeedback, u64)>,
+    /// Rolling window of measured fused-launch wall times, feeding the
+    /// adaptive straggler deadline (`ServeConfig::adaptive_wait`).
+    launch_window: VecDeque<f64>,
     pending_flushes: Vec<oneshot::Sender<()>>,
     meters: Meters,
     observatory: Observatory,
@@ -154,6 +163,7 @@ impl Worker {
             config,
             rx,
             backlog: VecDeque::new(),
+            launch_window: VecDeque::new(),
             capture,
             pending_flushes: Vec::new(),
             meters: Meters::resolve(),
@@ -243,8 +253,36 @@ impl Worker {
         }
     }
 
+    /// Rolling median of this worker's measured fused-launch wall times;
+    /// the adaptive policy's estimate of "what one more launch costs".
+    fn launch_p50(&self) -> Option<f64> {
+        if self.launch_window.is_empty() {
+            return None;
+        }
+        let mut sorted: Vec<f64> = self.launch_window.iter().copied().collect();
+        sorted.sort_by(f64::total_cmp);
+        Some(sorted[sorted.len() / 2])
+    }
+
+    /// How long the gatherer may wait for ONE more straggler:
+    /// `clamp(fraction × launch_p50, min_wait, remaining)` under the
+    /// adaptive policy, the whole remaining window under the fixed one.
+    fn straggler_gap(&self, remaining: Duration) -> Duration {
+        let Some(adaptive) = &self.config.adaptive_wait else {
+            return remaining;
+        };
+        let launch = self
+            .launch_p50()
+            .or(adaptive.seed_launch_seconds)
+            .unwrap_or(0.0);
+        Duration::from_secs_f64(adaptive.fraction * launch)
+            .max(adaptive.min_wait)
+            .min(remaining)
+    }
+
     /// Opens a batch with `first`, gathers companions under the
-    /// max-batch/max-wait policy, and serves the group with one fused
+    /// max-batch/max-wait policy (per-straggler deadline when
+    /// `adaptive_wait` is set), and serves the group with one fused
     /// launch.
     fn serve_batch(&mut self, first: EstimateRequest) {
         let mut batch = vec![first];
@@ -265,7 +303,7 @@ impl Worker {
                     if now >= deadline {
                         break;
                     }
-                    match self.rx.recv_timeout(deadline - now) {
+                    match self.rx.recv_timeout(self.straggler_gap(deadline - now)) {
                         Ok(Msg::Estimate(req)) => batch.push(req),
                         Ok(other) => self.dispatch_non_estimate(other),
                         Err(RecvTimeoutError::Timeout) => break,
@@ -284,12 +322,18 @@ impl Worker {
         let started = Instant::now();
         let estimates = self.model.estimate_batch(&regions);
         let launch_seconds = started.elapsed().as_secs_f64();
+        self.launch_window.push_back(launch_seconds);
+        if self.launch_window.len() > LAUNCH_WINDOW {
+            self.launch_window.pop_front();
+        }
         self.batches += 1;
         self.requests += batch.len() as u64;
         self.max_batch_seen = self.max_batch_seen.max(batch.len());
         if let Some(before) = stats_before {
-            let launch_stats = self.model.estimator().device().stats().since(&before);
-            self.emit_request_spans(&batch, &estimates, launch_seconds, &launch_stats);
+            let device = self.model.estimator().device();
+            let launch_stats = device.stats().since(&before);
+            let profile = device.profile();
+            self.emit_request_spans(&batch, &estimates, launch_seconds, &launch_stats, &profile);
         }
         if kdesel_telemetry::enabled() {
             self.meters.batches.inc();
@@ -352,6 +396,7 @@ impl Worker {
         estimates: &[f64],
         launch_seconds: f64,
         launch_stats: &DeviceStats,
+        profile: &kdesel_device::DeviceProfile,
     ) {
         for (req, &estimate) in batch.iter().zip(estimates) {
             let root = SpanContext::root_of(req.trace);
@@ -379,7 +424,9 @@ impl Worker {
                     .u64("downloads", launch_stats.downloads)
                     .u64("bytes_down", launch_stats.bytes_down)
                     .u64("pool_hits", launch_stats.pool_hits)
-                    .u64("pool_misses", launch_stats.pool_misses),
+                    .u64("pool_misses", launch_stats.pool_misses)
+                    .f64("kernel_p50_s", profile.kernel_p50_ceiling())
+                    .f64("kernel_p95_s", profile.kernel_p95_ceiling()),
             );
         }
     }

@@ -42,6 +42,33 @@ fn push_f64(out: &mut String, v: f64) {
     }
 }
 
+/// Escapes a label value per the Prometheus text-format spec: inside the
+/// double-quoted label value, backslash, double-quote, and line feed must
+/// be written as `\\`, `\"`, and `\n`. Everything else passes through
+/// (label values are arbitrary UTF-8).
+pub fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// Writes one `name{label="value"} v` sample, escaping the label value.
+fn push_labeled_sample(out: &mut String, name: &str, label: &str, value: &str, v: f64) {
+    out.push_str(&format!(
+        "{name}{{{label}=\"{}\"}} ",
+        escape_label_value(value)
+    ));
+    push_f64(out, v);
+    out.push('\n');
+}
+
 /// Renders `registry` in the Prometheus text exposition format. Counters
 /// and gauges are one sample each; histograms become summaries with
 /// p50/p90/p95/p99 `quantile` labels plus `_sum` and `_count` samples.
@@ -63,9 +90,7 @@ pub fn prometheus_text(registry: &Registry) -> String {
                 out.push_str(&format!("# TYPE {name} summary\n"));
                 let quantile_values = [summary.p50, summary.p90, summary.p95, summary.p99];
                 for ((_, label), value) in QUANTILES.iter().zip(quantile_values) {
-                    out.push_str(&format!("{name}{{quantile=\"{label}\"}} "));
-                    push_f64(&mut out, value);
-                    out.push('\n');
+                    push_labeled_sample(&mut out, &name, "quantile", label, value);
                 }
                 out.push_str(&format!("{name}_sum "));
                 push_f64(&mut out, summary.mean * summary.count as f64);
@@ -126,6 +151,36 @@ mod tests {
     fn non_finite_gauges_render_prometheus_style() {
         let r = Registry::new();
         r.gauge("test.inf").set(f64::INFINITY);
-        assert!(prometheus_text(&r).contains("kdesel_test_inf +Inf\n"));
+        r.gauge("test.neg_inf").set(f64::NEG_INFINITY);
+        r.gauge("test.nan").set(f64::NAN);
+        let text = prometheus_text(&r);
+        assert!(text.contains("kdesel_test_inf +Inf\n"));
+        assert!(text.contains("kdesel_test_neg_inf -Inf\n"));
+        assert!(text.contains("kdesel_test_nan NaN\n"));
+    }
+
+    #[test]
+    fn hostile_label_values_are_escaped_to_spec() {
+        // Backslash first, so the escapes it introduces are not re-escaped.
+        assert_eq!(escape_label_value(r"a\b"), r"a\\b");
+        assert_eq!(escape_label_value("say \"hi\""), "say \\\"hi\\\"");
+        assert_eq!(escape_label_value("two\nlines"), "two\\nlines");
+        assert_eq!(
+            escape_label_value("\\\"\n"),
+            "\\\\\\\"\\n",
+            "all three specials together"
+        );
+        // Untouched: arbitrary UTF-8 and other control-ish chars.
+        assert_eq!(escape_label_value("q=0.5,héllo\t"), "q=0.5,héllo\t");
+    }
+
+    #[test]
+    fn labeled_samples_render_escaped_and_parseable() {
+        let mut out = String::new();
+        push_labeled_sample(&mut out, "kdesel_x", "key", "a\\b\"c\nd", 1.5);
+        assert_eq!(out, "kdesel_x{key=\"a\\\\b\\\"c\\nd\"} 1.5\n");
+        // One physical line: the raw newline in the value must not split
+        // the sample.
+        assert_eq!(out.lines().count(), 1);
     }
 }

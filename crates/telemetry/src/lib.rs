@@ -27,7 +27,7 @@ mod sink;
 mod trace;
 
 pub use event::{Event, EventBuilder, Value};
-pub use expo::{prometheus_name, prometheus_text};
+pub use expo::{escape_label_value, prometheus_name, prometheus_text};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSummary, MetricKind, MetricLine, Registry};
 pub use sink::{EventSink, JsonlSink, NullSink, RingSink, JSONL_SCHEMA_VERSION};
 pub use trace::{next_id as next_trace_id, SpanContext};

@@ -30,10 +30,20 @@ run cargo run --release --offline --bin kdesel-replay -- \
 run cargo run --release --offline --bin kdesel-replay -- \
     run --capture "$replay_dir/capture.jsonl" --speed max
 
+# Cost-model calibration smoke: a quick sequential-CPU microbenchmark
+# sweep must converge and model its own measurements to within 20%
+# median residual — the same acceptance bound tests/cost_calibration.rs
+# pins. Exit 1 from kdesel-calibrate names the failing quantity.
+run cargo run --release --offline --bin kdesel-calibrate -- \
+    --backend cpu-seq --quick --gate 20 --out "$replay_dir/calibration.json"
+
 # Optional perf gate: PERF_SMOKE=1 scripts/check.sh additionally runs the
 # fusion, serving and SIMD microbenches and fails on a >2x modeled-cost
 # regression of the estimate hot path, <2x modeled coalescing at batch 16,
-# or a <2x wall-clock SoA sweep speedup (see scripts/perf_smoke.sh).
+# a reappearance of the max_batch=16 throughput cliff in the adaptive
+# window sweep, or a <2x wall-clock SoA sweep speedup (see
+# scripts/perf_smoke.sh). Add BENCH_TREND=1 to also gate each bench's
+# metrics against the rolling median of results/BENCH_history.jsonl.
 if [[ "${PERF_SMOKE:-0}" == "1" ]]; then
     run scripts/perf_smoke.sh
 fi

@@ -23,6 +23,7 @@
 //! estimate sweep is less than 2x faster than the scalar AoS baseline
 //! — the perf-smoke gate.
 
+use kdesel_bench::history::{record_and_gate, Direction, HistoryEntry, TrendSpec};
 use kdesel_bench::{emit, Cli};
 use kdesel_device::{Backend, Device};
 use kdesel_engine::report::{fmt, TextTable};
@@ -213,4 +214,31 @@ fn main() {
             epa_est.speedup()
         );
     }
+
+    // --- Perf-trend history: stamp this run; gate when BENCH_TREND=1.
+    record_and_gate(
+        HistoryEntry::stamped(
+            "simd",
+            vec![
+                (
+                    "epanechnikov_estimate_speedup".to_string(),
+                    epa_est.speedup(),
+                ),
+                ("gaussian_estimate_speedup".to_string(), gauss_est.speedup()),
+                (
+                    "epanechnikov_fused_speedup".to_string(),
+                    epa_fused.speedup(),
+                ),
+            ],
+        ),
+        &[
+            // Wall-clock SIMD speedups: wide noise headroom, gated on the
+            // kernel the perf-smoke gate also watches.
+            TrendSpec::new(
+                "epanechnikov_estimate_speedup",
+                Direction::HigherIsBetter,
+                0.4,
+            ),
+        ],
+    );
 }

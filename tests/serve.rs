@@ -5,7 +5,9 @@
 
 use kdesel::device::{Backend, Device};
 use kdesel::kde::{KdeEstimator, KernelFn, ModelSnapshot};
-use kdesel::serve::{CheckpointPolicy, ModelKey, ServeConfig, ServeError, ServedModel, Service};
+use kdesel::serve::{
+    AdaptiveWaitConfig, CheckpointPolicy, ModelKey, ServeConfig, ServeError, ServedModel, Service,
+};
 use kdesel::Rect;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -148,6 +150,64 @@ fn coalesced_batch_is_one_fused_launch() {
     assert_eq!(report.max_batch_seen, B);
     assert!((report.coalescing_ratio() - B as f64).abs() < 1e-12);
     service.shutdown().unwrap();
+}
+
+/// With the adaptive deadline, a worker whose producers cannot fill
+/// `max_batch` closes each batch after a per-straggler gap instead of
+/// stalling out the whole `max_wait` window — the throughput cliff the
+/// fixed policy shows at large batch limits — and the answers stay
+/// bit-identical to the fixed policy's.
+#[test]
+fn adaptive_wait_closes_starved_batches_early() {
+    let dims = 2;
+    let sample = sample(128, dims, 9);
+    let queries = regions(6, dims, 10);
+    let key = ModelKey::new("t", &["a", "b"]);
+    let max_wait = Duration::from_millis(40);
+    let run = |adaptive: Option<AdaptiveWaitConfig>| {
+        let service = Service::builder(ServeConfig {
+            max_batch: 16, // far above what one sequential caller can fill
+            max_wait,
+            adaptive_wait: adaptive,
+            ..ServeConfig::default()
+        })
+        .register(
+            key.clone(),
+            ServedModel::fixed(KdeEstimator::new(
+                Device::new(Backend::CpuSeq),
+                &sample,
+                dims,
+                KernelFn::Gaussian,
+            )),
+        )
+        .build()
+        .unwrap();
+        let handle = service.handle();
+        let started = std::time::Instant::now();
+        let got: Vec<f64> = queries
+            .iter()
+            .map(|q| handle.estimate(&key, q).unwrap())
+            .collect();
+        let elapsed = started.elapsed();
+        service.shutdown().unwrap();
+        (got, elapsed)
+    };
+
+    let (fixed, fixed_elapsed) = run(None);
+    let (adaptive, adaptive_elapsed) = run(Some(AdaptiveWaitConfig::default()));
+    for (a, f) in adaptive.iter().zip(&fixed) {
+        assert_eq!(a.to_bits(), f.to_bits(), "adaptive changed an estimate");
+    }
+    // Fixed policy stalls every 1-deep batch for the full window; the
+    // adaptive one closes after a ~20 µs gap. Huge margin: require 2x.
+    assert!(
+        fixed_elapsed >= max_wait * (queries.len() as u32 - 1),
+        "fixed policy should hold each starved batch for max_wait ({fixed_elapsed:?})"
+    );
+    assert!(
+        adaptive_elapsed * 2 < fixed_elapsed,
+        "adaptive ({adaptive_elapsed:?}) should be far faster than fixed ({fixed_elapsed:?})"
+    );
 }
 
 /// Serve a workload, checkpoint, restart from disk: the restored service
