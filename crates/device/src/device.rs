@@ -47,6 +47,13 @@ impl Backend {
 /// buffers.
 pub const SWEEP_BLOCK_ROWS: usize = 1024;
 
+/// `log2(SWEEP_BLOCK_ROWS)`: the [`PairwiseAcc`] level a full sweep
+/// block occupies. Because `SWEEP_BLOCK_ROWS` is a power of two and a
+/// multiple of [`PAIRWISE_BLOCK`], a full block starting at a multiple
+/// of `SWEEP_BLOCK_ROWS` is an exact aligned subtree of the global
+/// pairwise reduction — the fact the multi-device combine relies on.
+pub(crate) const SWEEP_BLOCK_LEVEL: u32 = SWEEP_BLOCK_ROWS.trailing_zeros();
+
 /// Transfer/compute counters for validating transfer-efficiency claims.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct DeviceStats {
@@ -225,6 +232,23 @@ impl SoaBuffer {
     /// Whether the buffer holds no rows.
     pub fn is_empty(&self) -> bool {
         self.rows == 0
+    }
+
+    /// A window over `len` rows starting at `start` — the unit a group
+    /// stripe-block worker hands to a sweep kernel. Reads only, so any
+    /// thread may view any shard (`SoaBuffer` is `Sync`).
+    ///
+    /// # Panics
+    /// Panics when the window exceeds the staged rows.
+    pub(crate) fn view(&self, start: usize, len: usize) -> ColsView<'_> {
+        assert!(start + len <= self.rows, "SoA view out of range");
+        ColsView {
+            data: &self.buf.data,
+            total_rows: self.rows,
+            dims: self.dims,
+            start,
+            len,
+        }
     }
 }
 
@@ -436,6 +460,21 @@ impl Device {
         let start = Instant::now();
         let out = run();
         let measured = start.elapsed().as_secs_f64();
+        self.charge_recorded(launch, modeled, measured, mutate);
+        out
+    }
+
+    /// Charges a launch whose work already ran elsewhere (a group worker
+    /// thread) with an externally measured wall time. Same ledger path
+    /// as [`Device::charge`]: modeled/measured totals, profiler record,
+    /// stats mutation, telemetry mirror.
+    pub(crate) fn charge_recorded(
+        &self,
+        launch: Launch,
+        modeled: f64,
+        measured: f64,
+        mutate: impl FnOnce(&mut DeviceStats),
+    ) {
         let mut t = self.timing.lock().unwrap();
         t.modeled_seconds += modeled;
         t.measured_seconds += measured;
@@ -459,7 +498,14 @@ impl Device {
             m.measured_us.add(measured * 1e6);
             m.kinds.record(launch.kind, measured);
         }
-        out
+    }
+
+    /// Adopts host data as a device-resident buffer without charging a
+    /// transfer. Only for the multi-device combine, whose gather cost is
+    /// charged separately (as device-to-device traffic on the adopting
+    /// device) by `DeviceGroup`.
+    pub(crate) fn adopt(&self, data: Vec<f64>) -> DeviceBuffer {
+        self.wrap(data)
     }
 
     /// Copies host data into a new device buffer (one transfer). The
@@ -1188,21 +1234,21 @@ impl Device {
 /// implementations) without recursion or scratch buffers — the stack
 /// holds at most `log2(n)+1` partial sums.
 #[derive(Clone)]
-struct PairwiseAcc {
+pub(crate) struct PairwiseAcc {
     /// `(partial sum, level)` pairs; a block at level `k` covers `2^k`
     /// consecutive inputs. Levels are strictly decreasing left to right.
     stack: Vec<(f64, u32)>,
 }
 
 impl PairwiseAcc {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         Self { stack: Vec::new() }
     }
 
     // The sums below are spelled `left_block + right_block` (not `+=`) so
     // the code states the tree orientation the bit-identity tests pin.
     #[allow(clippy::assign_op_pattern)]
-    fn push(&mut self, value: f64) {
+    pub(crate) fn push(&mut self, value: f64) {
         self.push_block(value, 0);
     }
 
@@ -1212,7 +1258,7 @@ impl PairwiseAcc {
     /// flight), which the blocked fast paths guarantee by emitting full
     /// blocks first.
     #[allow(clippy::assign_op_pattern)]
-    fn push_block(&mut self, value: f64, level: u32) {
+    pub(crate) fn push_block(&mut self, value: f64, level: u32) {
         let mut sum = value;
         let mut level = level;
         while let Some(&(top, top_level)) = self.stack.last() {
@@ -1227,7 +1273,7 @@ impl PairwiseAcc {
     }
 
     #[allow(clippy::assign_op_pattern)]
-    fn finish(&self) -> f64 {
+    pub(crate) fn finish(&self) -> f64 {
         // Leftover blocks shrink left to right; folding right-to-left as
         // `earlier + acc` matches the recursive `sum(left) + sum(right)`
         // association at every level.
@@ -1248,15 +1294,15 @@ impl PairwiseAcc {
 /// [`PAIRWISE_BLOCK_LEVEL`] carry, skipping the per-element stack walk.
 /// Must stay a power of two so each block is an exact subtree of the
 /// recursive pairwise split.
-const PAIRWISE_BLOCK: usize = 256;
-const PAIRWISE_BLOCK_LEVEL: u32 = PAIRWISE_BLOCK.trailing_zeros();
+pub(crate) const PAIRWISE_BLOCK: usize = 256;
+pub(crate) const PAIRWISE_BLOCK_LEVEL: u32 = PAIRWISE_BLOCK.trailing_zeros();
 
 /// Sums one aligned block with the exact adjacent-pairs tree the
 /// recursive pairwise split produces over a power-of-two range: level by
 /// level, `b[i] = b[2i] + b[2i+1]`. Plain unit-stride loops, so the
 /// halving passes vectorize; the association never changes.
 #[inline]
-fn pairwise_block_sum(block: &[f64; PAIRWISE_BLOCK]) -> f64 {
+pub(crate) fn pairwise_block_sum(block: &[f64; PAIRWISE_BLOCK]) -> f64 {
     let mut buf = *block;
     let mut width = PAIRWISE_BLOCK / 2;
     while width >= 1 {
@@ -1271,7 +1317,7 @@ fn pairwise_block_sum(block: &[f64; PAIRWISE_BLOCK]) -> f64 {
 /// Pairwise (binary-tree) summation: matches the paper's parallel reduction
 /// scheme and keeps the rounding error at `O(log n)` ulps so all backends
 /// produce identical results regardless of thread count.
-fn pairwise_sum(values: &[f64]) -> f64 {
+pub(crate) fn pairwise_sum(values: &[f64]) -> f64 {
     let mut acc = PairwiseAcc::new();
     let mut blocks = values.chunks_exact(PAIRWISE_BLOCK);
     for block in &mut blocks {
@@ -1290,7 +1336,7 @@ fn pairwise_sum(values: &[f64]) -> f64 {
 /// alone: full [`PAIRWISE_BLOCK`]-row windows are de-interleaved into a
 /// stack scratch and take the block fast path, the ragged tail walks
 /// element by element.
-fn pairwise_sum_columns(data: &[f64], width: usize) -> Vec<f64> {
+pub(crate) fn pairwise_sum_columns(data: &[f64], width: usize) -> Vec<f64> {
     let mut accs = vec![PairwiseAcc::new(); width];
     let rows = data.len() / width;
     let main = rows - rows % PAIRWISE_BLOCK;

@@ -47,6 +47,13 @@
 //!   fixed chunk count, so results are deterministic and identical no
 //!   matter which thread — or how many sibling executors — issue the
 //!   launch.
+//! * [`DeviceGroup`] sweeps spawn one *scoped* worker thread per member
+//!   device (the scoped-threadpool-per-device shape): each worker is the
+//!   sole command stream of its `Device` for the sweep's duration, and
+//!   only *reads* peer shards when stealing ([`SoaBuffer`] is `Sync`).
+//!   Partial results are merged on the calling thread after the scope
+//!   joins, so the group upholds the same one-owner command-stream
+//!   discipline per device.
 //!
 //! Consequently an estimator (`kdesel_kde::KdeEstimator`) composed of a
 //! `Device` plus `DeviceBuffer`s is `Send`: it may be built on one thread
@@ -66,7 +73,7 @@ pub use cost::{CostModel, CostProfile};
 pub use device::{
     Backend, ColsView, Device, DeviceBuffer, DeviceStats, SoaBuffer, SWEEP_BLOCK_ROWS,
 };
-pub use multi::{DeviceGroup, PartitionedBuffer};
+pub use multi::{DeviceGroup, GroupStats, Partition, PartitionedBuffer, PartitionedSoa};
 pub use profile::{DeviceProfile, KindProfile, Launch, LaunchKind};
 
 /// Compile-time pin of the thread-ownership contract documented above.
@@ -81,6 +88,8 @@ fn thread_contract() {
     send_and_sync::<SoaBuffer>();
     send_and_sync::<DeviceGroup>();
     send_and_sync::<PartitionedBuffer>();
+    send_and_sync::<PartitionedSoa>();
+    send_and_sync::<GroupStats>();
     send_and_sync::<DeviceProfile>();
     send_and_sync::<MeasuredProfile>();
 }

@@ -22,7 +22,7 @@
 use std::sync::Arc;
 
 /// Number of distinct launch kinds (the length of [`LaunchKind::ALL`]).
-pub const LAUNCH_KIND_COUNT: usize = 18;
+pub const LAUNCH_KIND_COUNT: usize = 20;
 
 /// Identifies which device hot path issued a launch. One variant per
 /// charged `Device` operation; the batch entry points (`map_rows_batch`,
@@ -68,6 +68,13 @@ pub enum LaunchKind {
     ReduceSum,
     /// Standalone blocked column reduction + vector readback.
     ReduceSumColumns,
+    /// One member device's share of a group stripe-block sweep + tree
+    /// reduction (`DeviceGroup::sweep_reduce`): the blocks this device
+    /// executed (owned + stolen), charged as one persistent launch.
+    GroupSweepReduce,
+    /// One member device's share of a group multi-output stripe-block
+    /// sweep (`DeviceGroup::sweep_multi_reduce` / `sweep_batch`).
+    GroupSweepMultiReduce,
 }
 
 impl LaunchKind {
@@ -92,6 +99,8 @@ impl LaunchKind {
         LaunchKind::ZipUpdateInplace,
         LaunchKind::ReduceSum,
         LaunchKind::ReduceSumColumns,
+        LaunchKind::GroupSweepReduce,
+        LaunchKind::GroupSweepMultiReduce,
     ];
 
     /// Stable snake_case name, used for telemetry metric names
@@ -116,6 +125,8 @@ impl LaunchKind {
             LaunchKind::ZipUpdateInplace => "zip_update_inplace",
             LaunchKind::ReduceSum => "reduce_sum",
             LaunchKind::ReduceSumColumns => "reduce_sum_columns",
+            LaunchKind::GroupSweepReduce => "group_sweep_reduce",
+            LaunchKind::GroupSweepMultiReduce => "group_sweep_multi_reduce",
         }
     }
 

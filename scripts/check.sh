@@ -16,6 +16,11 @@ run cargo test -q --offline --workspace
 # code and real contention, so it is #[ignore]d in the default pass and
 # run explicitly in release mode here.
 run cargo test -q --offline --release -p kdesel-serve -- --ignored
+# Likewise the multi-device work-stealing stress: a lopsided paced group
+# sweeping hundreds of queries against a single-device bitwise mirror
+# only stresses the steal path with optimized code, so it too is
+# #[ignore]d by default and run here in release mode.
+run cargo test -q --offline --release -p kdesel --test multi_device -- --ignored
 run cargo clippy --offline --workspace --all-targets -- -D warnings
 run cargo fmt --check --all
 
@@ -38,10 +43,12 @@ run cargo run --release --offline --bin kdesel-calibrate -- \
     --backend cpu-seq --quick --gate 20 --out "$replay_dir/calibration.json"
 
 # Optional perf gate: PERF_SMOKE=1 scripts/check.sh additionally runs the
-# fusion, serving and SIMD microbenches and fails on a >2x modeled-cost
-# regression of the estimate hot path, <2x modeled coalescing at batch 16,
-# a reappearance of the max_batch=16 throughput cliff in the adaptive
-# window sweep, or a <2x wall-clock SoA sweep speedup (see
+# fusion, serving, SIMD and multi-device microbenches and fails on a >2x
+# modeled-cost regression of the estimate hot path, <2x modeled
+# coalescing at batch 16, a reappearance of the max_batch=16 throughput
+# cliff in the adaptive window sweep, a <2x wall-clock SoA sweep
+# speedup, <3x homogeneous 4-device group scaling, or a <1.5x
+# work-stealing recovery on the lopsided mixed group (see
 # scripts/perf_smoke.sh). Add BENCH_TREND=1 to also gate each bench's
 # metrics against the rolling median of results/BENCH_history.jsonl.
 if [[ "${PERF_SMOKE:-0}" == "1" ]]; then

@@ -14,6 +14,14 @@
 #   row-major (AoS) baseline at n=16384, d=8, single thread. The
 #   division-free SoA sweep holds ~2.5x on a plain AVX2 core, leaving
 #   headroom over the threshold.
+# * bench_multi (run with PERF_SMOKE=1) fails when a homogeneous
+#   4-device group delivers less than 3x single-device modeled
+#   throughput, or when the paced work-stealing mixed group (full-rate
+#   CPU + 10%-fission simulated GPU, equal split) beats the
+#   stealing-off static split by less than 1.5x, or records no steals.
+#   Both ratios come from the deterministic cost model (stealing off in
+#   the scaling arm, paced claims in the stealing arm), so the gates
+#   are machine-insensitive: ~3.2x and ~1.6x with no run-to-run jitter.
 #
 # bench_fusion modeled seconds and the bench_serve coalescing speedup
 # come from the deterministic device cost model, so those gates are
@@ -35,17 +43,20 @@
 #   cargo run --release --bin bench_fusion   (writes BENCH_fusion.json)
 #   cargo run --release --bin bench_serve    (writes BENCH_serve.json)
 #   cargo run --release --bin bench_simd     (writes BENCH_simd.json)
+#   cargo run --release --bin bench_multi    (writes BENCH_multi.json)
 # and committing the results (plus the results/BENCH_history.jsonl lines
 # those runs append).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cargo build --release --offline --bin bench_fusion --bin bench_serve --bin bench_simd
+cargo build --release --offline --bin bench_fusion --bin bench_serve \
+    --bin bench_simd --bin bench_multi
 out=$(mktemp /tmp/bench_fusion.XXXXXX.json)
 serve_out=$(mktemp /tmp/bench_serve.XXXXXX.json)
 simd_out=$(mktemp /tmp/bench_simd.XXXXXX.json)
+multi_out=$(mktemp /tmp/bench_multi.XXXXXX.json)
 hist_out=$(mktemp /tmp/bench_history.XXXXXX.jsonl)
-trap 'rm -f "$out" "$serve_out" "$simd_out" "$hist_out"' EXIT
+trap 'rm -f "$out" "$serve_out" "$simd_out" "$multi_out" "$hist_out"' EXIT
 # Seed the throwaway history with the checked-in one so BENCH_TREND=1 has
 # a rolling baseline to compare against.
 if [[ -f results/BENCH_history.jsonl ]]; then
@@ -56,4 +67,5 @@ BENCH_FUSION_BASELINE=BENCH_fusion.json BENCH_FUSION_OUT="$out" \
     ./target/release/bench_fusion
 PERF_SMOKE=1 BENCH_SERVE_OUT="$serve_out" ./target/release/bench_serve
 PERF_SMOKE=1 BENCH_SIMD_OUT="$simd_out" ./target/release/bench_simd
+PERF_SMOKE=1 BENCH_MULTI_OUT="$multi_out" ./target/release/bench_multi
 echo "=== perf smoke passed ==="

@@ -1,0 +1,216 @@
+//! Multi-device group sweep benchmark (BENCH_multi.json).
+//!
+//! Measures the sharded, work-stealing [`DeviceGroup`] sweep in *modeled*
+//! device time — the quantity the simulated-GPU backend exists to
+//! produce — on two axes:
+//!
+//! * **homogeneous scaling** — one logical sweep over 1/2/4 identical
+//!   simulated GTX-460s, stealing off so the shares are exact and the
+//!   ratio deterministic. Each member is charged one persistent launch
+//!   for its share of the stripe blocks, so group size N divides the
+//!   compute term while paying N launch latencies in parallel; the gate
+//!   requires the 4-device group to clear 3x single-device throughput.
+//! * **mixed-group stealing** — a full-rate CPU device paired with a
+//!   10%-fission simulated GPU, both seeded *equal* block halves
+//!   (`Partition::Equal`). The static-split baseline disables stealing,
+//!   so the laggard's half dominates the parallel makespan; the
+//!   treatment enables stealing under virtual-clock pacing
+//!   ([`DeviceGroup::with_pace`]), letting the fast member drain the
+//!   laggard's queue. The gate requires ≥ 1.5x over the static split.
+//!
+//! Pacing makes wall-clock block claims track *modeled* throughput
+//! (SimGpu executes at real CPU speed and is only slow on the model's
+//! clock); estimates are bitwise-unchanged by it — only the claim
+//! interleaving, and therefore the modeled makespan, moves.
+//!
+//! Results go to `BENCH_multi.json` (override with `BENCH_MULTI_OUT`).
+//! With `PERF_SMOKE=1` the run fails (exit 1) if either gate misses.
+
+use kdesel_bench::history::{record_and_gate, Direction, HistoryEntry, TrendSpec};
+use kdesel_bench::{emit, Cli};
+use kdesel_device::{Backend, CostProfile, Device, DeviceGroup, Partition};
+use kdesel_engine::report::{fmt, TextTable};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+const DIMS: usize = 4;
+/// Modeled arithmetic per row: a Gaussian-kernel-sized charge so launch
+/// latency is a realistic (small) fraction of each member's sweep.
+const FLOPS_PER_ROW: f64 = 480.0;
+/// Wall seconds per modeled second for the paced runs — large enough
+/// that per-block sleeps dwarf the real kernel wall time, so claim
+/// interleaving tracks the model rather than the host CPU.
+const PACE: f64 = 20.0;
+
+/// One group configuration's measurement, in modeled device time.
+struct SweepReport {
+    label: String,
+    /// Modeled parallel seconds per sweep (slowest member's share).
+    modeled_seconds: f64,
+    /// Modeled throughput in sample rows per modeled second.
+    rows_per_second: f64,
+    steals: u64,
+}
+
+/// Runs `reps` group sweeps and reports the per-sweep modeled makespan.
+fn run_sweeps(group: &DeviceGroup, sample: &[f64], partition: Partition, reps: usize) -> f64 {
+    let part = group.stage_partitioned_soa_with(sample, DIMS, partition);
+    let rows = part.rows();
+    // Warm the pools and queues once, then measure a clean ledger.
+    run_one(group, &part);
+    group.reset_timing();
+    for _ in 0..reps {
+        run_one(group, &part);
+    }
+    let per_sweep = group.modeled_seconds_parallel() / reps as f64;
+    black_box(rows);
+    per_sweep
+}
+
+fn run_one(group: &DeviceGroup, part: &kdesel_device::PartitionedSoa) {
+    let (sum, _) = group.sweep_reduce(part, FLOPS_PER_ROW, false, |view, out| {
+        for (r, slot) in out.iter_mut().enumerate() {
+            let mut acc = 0.0;
+            for d in 0..DIMS {
+                let x = view.col(d)[r];
+                acc += x * (1.0 + 0.25 * x);
+            }
+            *slot = acc;
+        }
+    });
+    black_box(sum);
+}
+
+fn json_sweep(r: &SweepReport) -> String {
+    format!(
+        "{{\"modeled_seconds\": {:e}, \"rows_per_second\": {:e}, \"steals\": {}}}",
+        r.modeled_seconds, r.rows_per_second, r.steals
+    )
+}
+
+fn main() {
+    let cli = Cli::parse();
+    let rows = cli.rows_or(1 << 17, 1 << 18);
+    let reps = cli.reps_or(3, 5);
+    let seed = cli.seed.unwrap_or(0x517a);
+    eprintln!("# multi-device bench: {rows} rows, {DIMS}D, {reps} reps, modeled time");
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let sample: Vec<f64> = (0..rows * DIMS)
+        .map(|_| rng.gen_range(0.0..100.0))
+        .collect();
+
+    // --- Homogeneous scaling: 1/2/4 identical simulated GPUs. ---
+    let mut homogeneous = Vec::new();
+    for n in [1usize, 2, 4] {
+        // Stealing off: identical members keep their exact block shares,
+        // so the scaling ratio is deterministic (no claim-race jitter).
+        // The mixed arm below is the one that measures stealing.
+        let group = DeviceGroup::homogeneous(Backend::SimGpu, CostProfile::gtx460(), n)
+            .with_stealing(false);
+        let modeled = run_sweeps(&group, &sample, Partition::Profile, reps);
+        homogeneous.push(SweepReport {
+            label: format!("simgpu x{n}"),
+            modeled_seconds: modeled,
+            rows_per_second: rows as f64 / modeled,
+            steals: group.stats().steals,
+        });
+    }
+    let scaling_4x = homogeneous[2].rows_per_second / homogeneous[0].rows_per_second;
+
+    // --- Mixed group: static equal split vs work stealing. ---
+    let mixed_members = || {
+        vec![
+            Device::with_profile(Backend::CpuPar, CostProfile::xeon_e5620_opencl()),
+            Device::with_profile(Backend::SimGpu, CostProfile::gtx460()).fission(0.1),
+        ]
+    };
+    let static_group = DeviceGroup::new(mixed_members()).with_stealing(false);
+    let static_modeled = run_sweeps(&static_group, &sample, Partition::Equal, reps);
+    let static_split = SweepReport {
+        label: "mixed static".into(),
+        modeled_seconds: static_modeled,
+        rows_per_second: rows as f64 / static_modeled,
+        steals: static_group.stats().steals,
+    };
+
+    let steal_group = DeviceGroup::new(mixed_members()).with_pace(PACE);
+    let steal_modeled = run_sweeps(&steal_group, &sample, Partition::Equal, reps);
+    let stealing = SweepReport {
+        label: "mixed stealing".into(),
+        modeled_seconds: steal_modeled,
+        rows_per_second: rows as f64 / steal_modeled,
+        steals: steal_group.stats().steals,
+    };
+    let steal_speedup = static_split.modeled_seconds / stealing.modeled_seconds;
+
+    let mut table = TextTable::new(["group", "modeled_ms", "Mrows_per_s", "steals"]);
+    for r in homogeneous.iter().chain([&static_split, &stealing]) {
+        table.row([
+            r.label.clone(),
+            fmt(r.modeled_seconds * 1e3),
+            fmt(r.rows_per_second * 1e-6),
+            r.steals.to_string(),
+        ]);
+    }
+    emit(&cli, &table);
+    eprintln!("# homogeneous 4-device scaling: {scaling_4x:.2}x; mixed steal speedup: {steal_speedup:.2}x");
+
+    let json = format!(
+        "{{\n  \"config\": {{\"rows\": {rows}, \"dims\": {DIMS}, \"reps\": {reps}, \"seed\": {seed}, \"flops_per_row\": {FLOPS_PER_ROW}, \"pace\": {PACE}}},\n  \"homogeneous\": {{\n    \"devices_1\": {},\n    \"devices_2\": {},\n    \"devices_4\": {},\n    \"scaling_4x\": {scaling_4x:.3}\n  }},\n  \"mixed\": {{\n    \"static_split\": {},\n    \"work_stealing\": {},\n    \"steal_speedup\": {steal_speedup:.3}\n  }}\n}}\n",
+        json_sweep(&homogeneous[0]),
+        json_sweep(&homogeneous[1]),
+        json_sweep(&homogeneous[2]),
+        json_sweep(&static_split),
+        json_sweep(&stealing),
+    );
+    let out = std::env::var("BENCH_MULTI_OUT").unwrap_or_else(|_| "BENCH_multi.json".into());
+    if let Err(e) = std::fs::write(&out, &json) {
+        eprintln!("cannot write {out}: {e}");
+        std::process::exit(2);
+    }
+    eprintln!("# wrote {out}");
+
+    // --- Perf-smoke gates: 4-device scaling and steal recovery. ---
+    let gated = std::env::var("PERF_SMOKE").is_ok_and(|v| v == "1");
+    let mut failed = false;
+    if scaling_4x < 3.0 {
+        eprintln!("PERF REGRESSION: homogeneous 4-device scaling {scaling_4x:.2}x < 3x");
+        failed = true;
+    } else {
+        eprintln!("# multi gate ok: 4-device scaling {scaling_4x:.2}x >= 3x");
+    }
+    if steal_speedup < 1.5 {
+        eprintln!(
+            "PERF REGRESSION: mixed steal speedup {steal_speedup:.2}x < 1.5x over static split"
+        );
+        failed = true;
+    } else {
+        eprintln!("# multi gate ok: steal speedup {steal_speedup:.2}x >= 1.5x");
+    }
+    if stealing.steals == 0 {
+        eprintln!("PERF REGRESSION: paced mixed group recorded zero steals");
+        failed = true;
+    }
+    if failed && gated {
+        std::process::exit(1);
+    }
+
+    // --- Perf-trend history: stamp this run; gate when BENCH_TREND=1.
+    record_and_gate(
+        HistoryEntry::stamped(
+            "multi",
+            vec![
+                ("homogeneous_scaling_4x".to_string(), scaling_4x),
+                ("mixed_steal_speedup".to_string(), steal_speedup),
+            ],
+        ),
+        &[
+            // Modeled-time ratios: nearly deterministic, so the trend
+            // bands can sit much tighter than the wall-clock benches.
+            TrendSpec::new("homogeneous_scaling_4x", Direction::HigherIsBetter, 0.15),
+            TrendSpec::new("mixed_steal_speedup", Direction::HigherIsBetter, 0.2),
+        ],
+    );
+}

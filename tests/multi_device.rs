@@ -1,0 +1,248 @@
+//! Multi-device integration tests: a sharded, work-stealing
+//! [`DeviceGroup`] must be an invisible drop-in for a single device.
+//!
+//! The contract under test is the one `crates/device/src/multi.rs` argues
+//! for in its module docs: because partial sums are combined *in block
+//! order* through the same pairwise tree the single-device sweep uses,
+//! group estimates are bitwise-identical to `Backend::CpuSeq` on one
+//! device — no matter which member executed which block, whether blocks
+//! were stolen, or how the virtual-clock pacing interleaved the claims.
+
+use kdesel::device::{Backend, CostProfile, Device, DeviceGroup, Partition};
+use kdesel::kde::{KdeEstimator, KernelFn};
+use kdesel::Rect;
+use proptest::prelude::*;
+
+/// A deterministic pseudo-random sample: cheap to generate inside
+/// proptest cases, different per seed, and covering a [0, 100)ish domain.
+fn synth_sample(rows: usize, dims: usize, seed: u64) -> Vec<f64> {
+    let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+    let mut out = Vec::with_capacity(rows * dims);
+    for _ in 0..rows * dims {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        out.push((state >> 11) as f64 / (1u64 << 53) as f64 * 100.0);
+    }
+    out
+}
+
+/// Heterogeneous member menu: every backend, plus a fissioned (slow)
+/// simulated GPU so profile-seeded partitions are genuinely skewed.
+fn member_device(kind: usize) -> Device {
+    match kind % 4 {
+        0 => Device::with_profile(Backend::CpuSeq, CostProfile::xeon_e5620_opencl()),
+        1 => Device::with_profile(Backend::CpuPar, CostProfile::xeon_e5620_opencl()),
+        2 => Device::with_profile(Backend::SimGpu, CostProfile::gtx460()),
+        _ => Device::with_profile(Backend::SimGpu, CostProfile::gtx460()).fission(0.25),
+    }
+}
+
+fn query(dims: usize, lo: f64, hi: f64) -> Rect {
+    Rect::from_intervals(&vec![(lo, hi); dims])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Group estimate, fused gradient, and batch estimates are all
+    /// bitwise-identical to the single-device `CpuSeq` reference, across
+    /// heterogeneous member mixes and adversarial shapes: fewer rows
+    /// than devices, rows not a multiple of the lane width, shards with
+    /// nothing to steal, pacing on and off.
+    #[test]
+    fn group_is_bitwise_identical_to_single_device(
+        rows in 1usize..1500,
+        dims in 1usize..4,
+        members in proptest::collection::vec(0usize..4, 1..5),
+        paced in 0usize..2,
+        seed in 0u64..1u64 << 32,
+    ) {
+        let sample = synth_sample(rows, dims, seed);
+        let mut single = KdeEstimator::new(
+            Device::new(Backend::CpuSeq), &sample, dims, KernelFn::Gaussian);
+        let mut group = DeviceGroup::new(members.iter().map(|&k| member_device(k)).collect());
+        if paced == 1 {
+            // Pacing only changes claim interleaving, never the numbers.
+            group = group.with_pace(20.0);
+        }
+        let mut sharded = KdeEstimator::new_on_group(group, &sample, dims, KernelFn::Gaussian);
+
+        let q = query(dims, 10.0, 80.0);
+        prop_assert_eq!(single.estimate(&q).to_bits(), sharded.estimate(&q).to_bits());
+
+        let (e1, g1) = single.estimate_with_gradient(&q);
+        let (e2, g2) = sharded.estimate_with_gradient(&q);
+        prop_assert_eq!(e1.to_bits(), e2.to_bits());
+        prop_assert_eq!(g1.len(), g2.len());
+        for (a, b) in g1.iter().zip(&g2) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+
+        let batch = [query(dims, 0.0, 25.0), query(dims, 25.0, 60.0), query(dims, 40.0, 100.0)];
+        for (a, b) in single.estimate_batch(&batch).iter().zip(sharded.estimate_batch(&batch)) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    /// Replacing sample rows routes each write to the shard that owns the
+    /// row, and the models stay bitwise-locked afterwards.
+    #[test]
+    fn row_replacement_keeps_group_and_single_locked(
+        rows in 1usize..900,
+        members in proptest::collection::vec(0usize..4, 2..5),
+        seed in 0u64..1u64 << 32,
+    ) {
+        let dims = 2;
+        let sample = synth_sample(rows, dims, seed);
+        let mut single = KdeEstimator::new(
+            Device::new(Backend::CpuSeq), &sample, dims, KernelFn::Gaussian);
+        let group = DeviceGroup::new(members.iter().map(|&k| member_device(k)).collect());
+        let mut sharded = KdeEstimator::new_on_group(group, &sample, dims, KernelFn::Gaussian);
+
+        let replacement = [3.25, 97.5];
+        for index in [0, rows / 2, rows - 1] {
+            single.replace_point(index, &replacement);
+            sharded.replace_point(index, &replacement);
+        }
+        let q = query(dims, 5.0, 95.0);
+        prop_assert_eq!(single.estimate(&q).to_bits(), sharded.estimate(&q).to_bits());
+    }
+}
+
+/// Profile-seeded staging uploads the whole sample exactly once: every
+/// byte lands on exactly one member, faster members get more of them, and
+/// no member is staged twice.
+#[test]
+fn profile_seeded_staging_covers_sample_exactly_once() {
+    let dims = 3;
+    let rows = 5000;
+    let sample = synth_sample(rows, dims, 7);
+    let group = DeviceGroup::new(vec![
+        Device::with_profile(Backend::SimGpu, CostProfile::gtx460()),
+        Device::with_profile(Backend::CpuPar, CostProfile::xeon_e5620_opencl()),
+    ]);
+    let part = group.stage_partitioned_soa_with(&sample, dims, Partition::Profile);
+    assert_eq!(part.rows(), rows);
+
+    let stats: Vec<_> = group.devices().iter().map(|d| d.stats()).collect();
+    let total_up: u64 = stats.iter().map(|s| s.bytes_up).sum();
+    assert_eq!(
+        total_up as usize,
+        rows * dims * 8,
+        "every byte staged exactly once"
+    );
+    for s in &stats {
+        assert!(s.uploads <= 1, "each member staged at most one shard");
+    }
+    // The GTX-460 profile models 4x the CPU's compute throughput, so the
+    // profile-seeded split must hand it the strictly larger shard.
+    assert!(stats[0].bytes_up > stats[1].bytes_up);
+}
+
+/// The group scheduler's counters surface through the shared telemetry
+/// registry in Prometheus exposition format.
+#[test]
+fn group_counters_export_via_prometheus_text() {
+    kdesel::telemetry::set_enabled(true);
+    let dims = 2;
+    let sample = synth_sample(4096, dims, 11);
+    let group = DeviceGroup::homogeneous(Backend::CpuPar, CostProfile::xeon_e5620_opencl(), 2);
+    let mut est = KdeEstimator::new_on_group(group, &sample, dims, KernelFn::Gaussian);
+    est.estimate(&query(dims, 20.0, 70.0));
+
+    let text = kdesel::telemetry::prometheus_text(kdesel::telemetry::registry());
+    for name in [
+        "kdesel_device_group_steals",
+        "kdesel_device_group_blocks_executed",
+        "kdesel_device_group_imbalance",
+    ] {
+        assert!(text.contains(name), "missing {name} in exposition:\n{text}");
+    }
+    kdesel::telemetry::set_enabled(false);
+}
+
+/// Release-mode work-stealing stress: a deliberately lopsided paced group
+/// (fast full-rate simulated GPU + a 1%-fission laggard seeded half the
+/// blocks) sweeps hundreds of queries while a single-device mirror checks
+/// every result bitwise. Exercises the steal path hard — the fast member
+/// must drain the laggard's queue every sweep.
+#[test]
+#[ignore = "heavy: run explicitly (check.sh runs it in release mode)"]
+fn work_stealing_stress_stays_bitwise_locked() {
+    let dims = 3;
+    let rows = 6 * 1024;
+    let sample = synth_sample(rows, dims, 23);
+    let mut single = KdeEstimator::new(
+        Device::new(Backend::CpuSeq),
+        &sample,
+        dims,
+        KernelFn::Gaussian,
+    );
+    let fast = Device::with_profile(Backend::SimGpu, CostProfile::gtx460());
+    let slow = fast.fission(0.01);
+    let group = DeviceGroup::new(vec![fast, slow]).with_pace(200.0);
+    let part = group.stage_partitioned_soa_with(&sample, dims, Partition::Equal);
+    // Drive the raw group sweep alongside the estimator-level mirror so
+    // both layers stay under stress.
+    let flops = KernelFn::Gaussian.flops_per_factor() * dims as f64;
+    let mut sharded = {
+        let g = DeviceGroup::new(vec![
+            Device::with_profile(Backend::SimGpu, CostProfile::gtx460()),
+            Device::with_profile(Backend::SimGpu, CostProfile::gtx460()).fission(0.01),
+        ])
+        .with_pace(200.0);
+        KdeEstimator::new_on_group(g, &sample, dims, KernelFn::Gaussian)
+    };
+
+    let ref_dev = Device::new(Backend::CpuSeq);
+    let ref_buf = ref_dev.stage_rows_soa(&sample, dims);
+    for i in 0..200 {
+        let lo = (i % 37) as f64;
+        let hi = lo + 20.0 + (i % 53) as f64;
+        let q = query(dims, lo, hi);
+        assert_eq!(
+            single.estimate(&q).to_bits(),
+            sharded.estimate(&q).to_bits(),
+            "divergence at query {i}"
+        );
+        let (want, _) = ref_dev.sweep_reduce(&ref_buf, flops, false, |view, out| {
+            for (r, slot) in out.iter_mut().enumerate() {
+                let mut acc = 0.0;
+                for d in 0..dims {
+                    acc += view.col(d)[r];
+                }
+                *slot = acc;
+            }
+        });
+        let (got, _) = part_sweep(&group, &part, flops);
+        assert_eq!(want.to_bits(), got.to_bits(), "raw sweep divergence at {i}");
+    }
+
+    let stats = sharded.group().expect("group-backed").stats();
+    assert!(
+        stats.steals > 0,
+        "the fast member never stole from the laggard: {stats:?}"
+    );
+    let raw_stats = group.stats();
+    assert!(raw_stats.steals > 0, "raw group never stole: {raw_stats:?}");
+}
+
+/// The raw group sweep used by the stress test (kept out of the loop body
+/// for readability): sums all coordinates of every row.
+fn part_sweep(
+    group: &DeviceGroup,
+    part: &kdesel::device::PartitionedSoa,
+    flops: f64,
+) -> (f64, Option<kdesel::device::DeviceBuffer>) {
+    let dims = part.dims();
+    group.sweep_reduce(part, flops, false, |view, out| {
+        for (r, slot) in out.iter_mut().enumerate() {
+            let mut acc = 0.0;
+            for d in 0..dims {
+                acc += view.col(d)[r];
+            }
+            *slot = acc;
+        }
+    })
+}
