@@ -1,6 +1,9 @@
 //! Unified estimator construction and feedback plumbing.
 
 use kdesel_device::{Backend, Device};
+use kdesel_estimators::{
+    ExactScanEstimator, HybridEstimator, LearnedConfig, LearnedEstimator, RouterConfig,
+};
 use kdesel_hist::{AviEstimator, SthConfig, SthHoles};
 use kdesel_kde::{
     AdaptiveConfig, AdaptiveKde, BatchConfig, BatchKde, CvConfig, HeuristicKde, KarmaConfig,
@@ -29,6 +32,12 @@ pub enum EstimatorKind {
     Avi,
     /// Naive sample-counting baseline (§2.3's "naïve" sampling estimator).
     Sampling,
+    /// Naru-style autoregressive learned estimator (bake-off family).
+    Learned,
+    /// Exact scan over a staged table snapshot (bake-off family).
+    Exact,
+    /// KDE + learned + exact behind the hybrid cost/error router.
+    Hybrid,
 }
 
 impl EstimatorKind {
@@ -52,6 +61,30 @@ impl EstimatorKind {
         EstimatorKind::Adaptive,
     ];
 
+    /// The bake-off line-up: the paper's self-tuning KDE against the
+    /// learned and exact families, plus the hybrid router over all three.
+    pub const BAKEOFF: [EstimatorKind; 4] = [
+        EstimatorKind::Adaptive,
+        EstimatorKind::Learned,
+        EstimatorKind::Exact,
+        EstimatorKind::Hybrid,
+    ];
+
+    /// Every kind the engine can build: the extended paper line-up plus
+    /// the bake-off families.
+    pub const FULL: [EstimatorKind; 10] = [
+        EstimatorKind::Avi,
+        EstimatorKind::Sampling,
+        EstimatorKind::SthHoles,
+        EstimatorKind::Heuristic,
+        EstimatorKind::Scv,
+        EstimatorKind::Batch,
+        EstimatorKind::Adaptive,
+        EstimatorKind::Learned,
+        EstimatorKind::Exact,
+        EstimatorKind::Hybrid,
+    ];
+
     /// Report name.
     pub fn name(self) -> &'static str {
         match self {
@@ -62,7 +95,16 @@ impl EstimatorKind {
             EstimatorKind::SthHoles => "stholes",
             EstimatorKind::Avi => "avi",
             EstimatorKind::Sampling => "sampling",
+            EstimatorKind::Learned => "learned",
+            EstimatorKind::Exact => "exact",
+            EstimatorKind::Hybrid => "hybrid",
         }
+    }
+
+    /// Parses a report name back to its kind (the inverse of
+    /// [`name`](Self::name)); `None` for unknown names.
+    pub fn from_name(name: &str) -> Option<Self> {
+        EstimatorKind::FULL.into_iter().find(|k| k.name() == name)
     }
 }
 
@@ -87,6 +129,10 @@ pub struct BuildConfig {
     pub adaptive: AdaptiveConfig,
     /// Karma-maintenance settings.
     pub karma: KarmaConfig,
+    /// Learned-estimator settings (bake-off families).
+    pub learned: LearnedConfig,
+    /// Hybrid-router settings (bake-off families).
+    pub router: RouterConfig,
 }
 
 impl BuildConfig {
@@ -101,6 +147,8 @@ impl BuildConfig {
             cv: CvConfig::default(),
             adaptive: AdaptiveConfig::default(),
             karma: KarmaConfig::default(),
+            learned: LearnedConfig::default(),
+            router: RouterConfig::default(),
         }
     }
 
@@ -152,6 +200,18 @@ pub enum AnyEstimator {
     Avi(AviEstimator),
     /// Sample-counting baseline.
     Sampling(SampleEstimator),
+    /// Naru-style autoregressive learned estimator.
+    Learned(LearnedEstimator),
+    /// Exact scan over a staged snapshot of the full table.
+    Exact(ExactScanEstimator),
+    /// Hybrid bake-off estimator plus the reservoir state its KDE
+    /// member needs for inserts.
+    Hybrid {
+        /// The routed three-family estimator.
+        hybrid: Box<HybridEstimator>,
+        /// Host-side reservoir decision procedure for inserts.
+        reservoir: ReservoirSampler,
+    },
 }
 
 impl AnyEstimator {
@@ -232,6 +292,35 @@ impl AnyEstimator {
                 AnyEstimator::Avi(AviEstimator::build(sample, dims, buckets))
             }
             EstimatorKind::Sampling => AnyEstimator::Sampling(SampleEstimator::new(sample, dims)),
+            EstimatorKind::Learned => {
+                AnyEstimator::Learned(LearnedEstimator::train(sample, dims, &config.learned))
+            }
+            EstimatorKind::Exact => {
+                AnyEstimator::Exact(ExactScanEstimator::new(device(), &flat_rows(table), dims))
+            }
+            EstimatorKind::Hybrid => {
+                // The KDE and learned members work from the ANALYZE sample
+                // like their standalone kinds; the exact member scans the
+                // full table — that is its whole value proposition.
+                let kde = AdaptiveKde::new(
+                    device(),
+                    sample,
+                    dims,
+                    config.kernel,
+                    config.adaptive.clone(),
+                    config.karma.clone(),
+                );
+                let learned = LearnedEstimator::train(sample, dims, &config.learned);
+                let exact = ExactScanEstimator::new(device(), &flat_rows(table), dims);
+                let capacity = kde.model().sample_size();
+                let seen = (table.row_count() as u64).max(capacity as u64);
+                let hybrid = HybridEstimator::new(kde, learned, exact, config.router.clone())
+                    .with_learned_config(config.learned.clone());
+                AnyEstimator::Hybrid {
+                    hybrid: Box::new(hybrid),
+                    reservoir: ReservoirSampler::new(capacity, seen),
+                }
+            }
         }
     }
 
@@ -245,6 +334,9 @@ impl AnyEstimator {
             AnyEstimator::SthHoles(_) => EstimatorKind::SthHoles,
             AnyEstimator::Avi(_) => EstimatorKind::Avi,
             AnyEstimator::Sampling(_) => EstimatorKind::Sampling,
+            AnyEstimator::Learned(_) => EstimatorKind::Learned,
+            AnyEstimator::Exact(_) => EstimatorKind::Exact,
+            AnyEstimator::Hybrid { .. } => EstimatorKind::Hybrid,
         }
     }
 
@@ -265,6 +357,9 @@ impl AnyEstimator {
             AnyEstimator::SthHoles(h) => h.estimate_selectivity(region),
             AnyEstimator::Avi(a) => a.estimate(region),
             AnyEstimator::Sampling(s) => s.estimate(region),
+            AnyEstimator::Learned(e) => e.estimate(region),
+            AnyEstimator::Exact(e) => e.estimate(region),
+            AnyEstimator::Hybrid { hybrid, .. } => hybrid.estimate_routed(region).0,
         }
     }
 
@@ -282,7 +377,9 @@ impl AnyEstimator {
             | AnyEstimator::Scv(_)
             | AnyEstimator::Batch(_)
             | AnyEstimator::Avi(_)
-            | AnyEstimator::Sampling(_) => {}
+            | AnyEstimator::Sampling(_)
+            | AnyEstimator::Learned(_)
+            | AnyEstimator::Exact(_) => {}
             AnyEstimator::Adaptive { kde, .. } => {
                 kdesel_types::SelectivityEstimator::observe(kde, feedback);
                 for index in kde.take_pending_replacements() {
@@ -294,16 +391,39 @@ impl AnyEstimator {
             AnyEstimator::SthHoles(h) => {
                 h.refine(&feedback.region, |r| table.count_in(r));
             }
+            AnyEstimator::Hybrid { hybrid, .. } => {
+                // The hybrid attributes the q-error to whichever family
+                // answered and forwards KDE-attributed feedback to Karma;
+                // any flagged sample points get refreshed from the table
+                // exactly like the standalone adaptive estimator.
+                kdesel_types::SelectivityEstimator::observe(hybrid.as_mut(), feedback);
+                for index in hybrid.take_pending_replacements() {
+                    if let Some(row) = sampling::sample_one(table, rng) {
+                        hybrid.replace_point(index, &row);
+                    }
+                }
+            }
         }
     }
 
     /// Notifies the estimator of an inserted tuple (§4.2 reservoir path).
     /// Only the adaptive estimator reacts.
     pub fn handle_insert<R: Rng + ?Sized>(&mut self, row: &[f64], rng: &mut R) {
-        if let AnyEstimator::Adaptive { kde, reservoir } = self {
-            if let ReservoirDecision::Replace(slot) = reservoir.observe(rng) {
-                kde.reservoir_replace(slot, row);
+        match self {
+            AnyEstimator::Adaptive { kde, reservoir } => {
+                if let ReservoirDecision::Replace(slot) = reservoir.observe(rng) {
+                    kde.reservoir_replace(slot, row);
+                }
             }
+            AnyEstimator::Hybrid { hybrid, reservoir } => {
+                // Only the KDE member's sample refreshes; the learned and
+                // exact members go deliberately stale so the router can
+                // catch them drifting (the bake-off's shifting segment).
+                if let ReservoirDecision::Replace(slot) = reservoir.observe(rng) {
+                    hybrid.reservoir_replace(slot, row);
+                }
+            }
+            _ => {}
         }
     }
 
@@ -319,6 +439,11 @@ impl AnyEstimator {
             AnyEstimator::SthHoles(h) => h.memory_bytes(),
             AnyEstimator::Avi(a) => a.memory_bytes(),
             AnyEstimator::Sampling(s) => kdesel_types::SelectivityEstimator::memory_bytes(s),
+            AnyEstimator::Learned(e) => e.memory_bytes(),
+            AnyEstimator::Exact(e) => e.memory_bytes(),
+            AnyEstimator::Hybrid { hybrid, .. } => {
+                kdesel_types::SelectivityEstimator::memory_bytes(hybrid.as_ref())
+            }
         }
     }
 
@@ -330,9 +455,24 @@ impl AnyEstimator {
             AnyEstimator::Scv(e) => Some(e.model().device()),
             AnyEstimator::Batch(e) => Some(e.model().device()),
             AnyEstimator::Adaptive { kde, .. } => Some(kde.model().device()),
-            AnyEstimator::SthHoles(_) | AnyEstimator::Avi(_) | AnyEstimator::Sampling(_) => None,
+            AnyEstimator::Exact(e) => Some(e.device()),
+            AnyEstimator::Hybrid { hybrid, .. } => Some(hybrid.device()),
+            AnyEstimator::SthHoles(_)
+            | AnyEstimator::Avi(_)
+            | AnyEstimator::Sampling(_)
+            | AnyEstimator::Learned(_) => None,
         }
     }
+}
+
+/// Flattens the table's live rows into one row-major buffer for the
+/// exact-scan snapshot.
+fn flat_rows(table: &Table) -> Vec<f64> {
+    let mut flat = Vec::with_capacity(table.row_count() * table.dims());
+    for (_, row) in table.rows() {
+        flat.extend_from_slice(row);
+    }
+    flat
 }
 
 #[cfg(test)]
@@ -474,6 +614,98 @@ mod tests {
             e_trained < e_untrained,
             "trained {e_trained} vs untrained {e_untrained}"
         );
+    }
+
+    #[test]
+    fn kind_names_round_trip_through_from_name() {
+        for kind in EstimatorKind::FULL {
+            assert_eq!(EstimatorKind::from_name(kind.name()), Some(kind));
+        }
+        for bogus in ["", "kde", "EXACT", "hybrid ", "naru"] {
+            assert_eq!(EstimatorKind::from_name(bogus), None, "accepted {bogus:?}");
+        }
+    }
+
+    #[test]
+    fn builds_bakeoff_kinds_and_estimates() {
+        let table = small_table(9);
+        let mut rng = StdRng::seed_from_u64(10);
+        let sample = sampling::sample_rows(&table, 128, &mut rng);
+        let config = BuildConfig::paper_default(2);
+        let region = table.bounding_box().unwrap();
+        for kind in [
+            EstimatorKind::Learned,
+            EstimatorKind::Exact,
+            EstimatorKind::Hybrid,
+        ] {
+            let mut e = AnyEstimator::build(kind, &table, &sample, &[], &config, &mut rng);
+            assert_eq!(e.kind(), kind);
+            assert_eq!(EstimatorKind::from_name(e.name()), Some(kind));
+            let v = e.estimate(&region);
+            assert!(
+                (0.8..=1.0).contains(&v),
+                "{}: whole-domain estimate {v}",
+                kind.name()
+            );
+            assert!(e.memory_bytes() > 0);
+        }
+    }
+
+    #[test]
+    fn exact_kind_scans_the_full_table() {
+        let table = small_table(11);
+        let mut rng = StdRng::seed_from_u64(12);
+        let sample = sampling::sample_rows(&table, 16, &mut rng);
+        let config = BuildConfig::paper_default(2);
+        let mut e = AnyEstimator::build(
+            EstimatorKind::Exact,
+            &table,
+            &sample,
+            &[],
+            &config,
+            &mut rng,
+        );
+        // Truth on an arbitrary box, not just the sample's view of it.
+        let region = Rect::cube(2, 10.0, 60.0);
+        assert_eq!(e.estimate(&region), table.selectivity(&region));
+    }
+
+    #[test]
+    fn hybrid_feedback_and_inserts_flow() {
+        let table = small_table(13);
+        let mut rng = StdRng::seed_from_u64(14);
+        let sample = sampling::sample_rows(&table, 64, &mut rng);
+        let config = BuildConfig::paper_default(2);
+        let mut e = AnyEstimator::build(
+            EstimatorKind::Hybrid,
+            &table,
+            &sample,
+            &[],
+            &config,
+            &mut rng,
+        );
+        for _ in 0..5 {
+            let region = Rect::cube(2, 20.0, 70.0);
+            let est = e.estimate(&region);
+            let fb = QueryFeedback {
+                region,
+                estimate: est,
+                actual: table.selectivity(&Rect::cube(2, 20.0, 70.0)),
+                cardinality: 0,
+            };
+            e.handle_feedback(&table, &fb, &mut rng);
+        }
+        for _ in 0..200 {
+            e.handle_insert(&[50.0, 50.0], &mut rng);
+        }
+        let v = e.estimate(&Rect::cube(2, 0.0, 100.0));
+        assert!(v > 0.0, "hybrid stopped estimating: {v}");
+        if let AnyEstimator::Hybrid { hybrid, .. } = &e {
+            let total: u64 = hybrid.router().decisions().iter().sum();
+            assert!(total >= 6, "router saw {total} decisions");
+        } else {
+            panic!("expected hybrid variant");
+        }
     }
 
     #[test]

@@ -18,8 +18,11 @@
 
 use kdesel_data::{generate_workload, synthetic, WorkloadKind, WorkloadSpec};
 use kdesel_device::{Backend, Device};
+use kdesel_estimators::{
+    ExactScanEstimator, Family, HybridConfig, HybridEstimator, LearnedConfig, LearnedEstimator,
+};
 use kdesel_hist::{SthConfig, SthHoles};
-use kdesel_kde::{KarmaConfig, KarmaMaintenance, KdeEstimator, KernelFn};
+use kdesel_kde::{AdaptiveKde, KarmaConfig, KarmaMaintenance, KdeEstimator, KernelFn};
 use kdesel_storage::{sampling, Table};
 use kdesel_types::{QueryFeedback, Rect};
 use rand::rngs::StdRng;
@@ -39,6 +42,8 @@ pub struct PerfConfig {
     pub queries: usize,
     /// STHoles bucket counts matched byte-for-byte to each sample size.
     pub include_stholes: bool,
+    /// Also sweep the bake-off families (learned, exact scan, hybrid).
+    pub include_bakeoff: bool,
     /// Base seed.
     pub seed: u64,
 }
@@ -51,6 +56,7 @@ impl Default for PerfConfig {
             sample_sizes: (10..=20).map(|p| 1usize << p).collect(),
             queries: 100,
             include_stholes: true,
+            include_bakeoff: true,
             seed: 0xf177,
         }
     }
@@ -124,6 +130,33 @@ pub fn run_perf(config: &PerfConfig) -> Vec<PerfSeries> {
             points,
         });
     }
+    if config.include_bakeoff {
+        let sweep =
+            |f: &dyn Fn(usize) -> PerfPoint| config.sample_sizes.iter().map(|&s| f(s)).collect();
+        series.push(PerfSeries {
+            label: "learned".to_string(),
+            points: sweep(&|size| measure_learned(&table, &regions, size, config.seed)),
+        });
+        for backend in [Backend::SimGpu, Backend::CpuPar] {
+            series.push(PerfSeries {
+                label: format!("exact/{}", backend.name()),
+                points: sweep(&|size| measure_exact(&table, &regions, backend, size, config.seed)),
+            });
+        }
+        series.push(PerfSeries {
+            label: "hybrid/sim-gpu".to_string(),
+            points: sweep(&|size| {
+                measure_hybrid(
+                    &table,
+                    &regions,
+                    &actuals,
+                    Backend::SimGpu,
+                    size,
+                    config.seed,
+                )
+            }),
+        });
+    }
     series
 }
 
@@ -138,15 +171,7 @@ fn measure_kde(
     seed: u64,
 ) -> PerfPoint {
     let mut rng = StdRng::seed_from_u64(seed ^ size as u64);
-    // Sampling with replacement beyond the table size would distort the
-    // model; the paper's 3M-row table always exceeds the sample. Cap at the
-    // table size and tile if oversized (perf is unaffected by duplicates).
-    let mut sample = sampling::sample_rows(table, size.min(table.row_count()), &mut rng);
-    while sample.len() < size * table.dims() {
-        let missing = size * table.dims() - sample.len();
-        let chunk = sample[..missing.min(sample.len())].to_vec();
-        sample.extend_from_slice(&chunk);
-    }
+    let sample = sized_sample(table, size, &mut rng);
     let mut estimator = KdeEstimator::new(
         Device::new(backend),
         &sample,
@@ -206,6 +231,133 @@ fn measure_kde(
         model_size: size,
         modeled_seconds: Some(modeled),
         measured_seconds: wall.elapsed().as_secs_f64(),
+    }
+}
+
+/// A `size`-point row-major sample. Sampling with replacement beyond
+/// the table size would distort the model; the paper's 3M-row table
+/// always exceeds the sample. Cap at the table size and tile if
+/// oversized (perf is unaffected by duplicates).
+fn sized_sample(table: &Table, size: usize, rng: &mut StdRng) -> Vec<f64> {
+    let mut sample = sampling::sample_rows(table, size.min(table.row_count()), rng);
+    while sample.len() < size * table.dims() {
+        let missing = size * table.dims() - sample.len();
+        let chunk = sample[..missing.min(sample.len())].to_vec();
+        sample.extend_from_slice(&chunk);
+    }
+    sample
+}
+
+/// Training set for the learned family: estimation overhead is what
+/// Fig. 7 times, so training (like STHoles construction) is excluded
+/// and capped — the model's parameter count, and hence its per-query
+/// cost, is set by `LearnedConfig`, not by the training-set size.
+const LEARNED_TRAIN_CAP: usize = 4_096;
+
+/// Measures the learned family's estimation overhead. The model holds
+/// `bins · paths · dims` parameters regardless of `size`, so its
+/// series is flat — the point of plotting it against the KDE sweep.
+fn measure_learned(table: &Table, regions: &[Rect], size: usize, seed: u64) -> PerfPoint {
+    let mut rng = StdRng::seed_from_u64(seed ^ size as u64 ^ 0x1ea2);
+    let train = sized_sample(table, size.min(LEARNED_TRAIN_CAP), &mut rng);
+    let model = LearnedEstimator::train(&train, table.dims(), &LearnedConfig::default());
+    let wall = Instant::now();
+    let mut sink = 0.0;
+    for region in regions {
+        sink += model.estimate(region);
+    }
+    std::hint::black_box(sink);
+    PerfPoint {
+        model_size: size,
+        modeled_seconds: Some(regions.len() as f64 * model.query_cost()),
+        measured_seconds: wall.elapsed().as_secs_f64(),
+    }
+}
+
+/// Measures the exact-scan family over a `size`-row staged snapshot
+/// (capped at the table — an exact scan never duplicates rows).
+fn measure_exact(
+    table: &Table,
+    regions: &[Rect],
+    backend: Backend,
+    size: usize,
+    seed: u64,
+) -> PerfPoint {
+    let mut rng = StdRng::seed_from_u64(seed ^ size as u64 ^ 0xe4ac);
+    let rows = sampling::sample_rows(table, size.min(table.row_count()), &mut rng);
+    let est = ExactScanEstimator::new(Device::new(backend), &rows, table.dims());
+    let t0 = est.device().modeled_seconds();
+    let wall = Instant::now();
+    let mut sink = 0.0;
+    for region in regions {
+        sink += est.estimate(region);
+    }
+    std::hint::black_box(sink);
+    PerfPoint {
+        model_size: size,
+        modeled_seconds: Some(est.device().modeled_seconds() - t0),
+        measured_seconds: wall.elapsed().as_secs_f64(),
+    }
+}
+
+/// Measures the hybrid router's end-to-end overhead: whatever mix of
+/// families it chose, billed at each member's modeled device cost
+/// (learned decisions at the host-FLOPs query cost, KDE and exact at
+/// their device-ledger deltas).
+fn measure_hybrid(
+    table: &Table,
+    regions: &[Rect],
+    actuals: &[f64],
+    backend: Backend,
+    size: usize,
+    seed: u64,
+) -> PerfPoint {
+    let mut rng = StdRng::seed_from_u64(seed ^ size as u64 ^ 0x11b2);
+    let dims = table.dims();
+    let sample = sized_sample(table, size, &mut rng);
+    let config = HybridConfig::default();
+    // Members mirror their standalone measurements: the KDE holds the
+    // full `size`-point sample, the learned model trains on the capped
+    // subset, the exact member scans a `size`-row table snapshot.
+    let kde = AdaptiveKde::new(
+        Device::new(backend),
+        &sample,
+        dims,
+        config.kernel,
+        config.adaptive.clone(),
+        config.karma.clone(),
+    );
+    let learned = LearnedEstimator::train(
+        &sample[..(size.min(LEARNED_TRAIN_CAP) * dims).min(sample.len())],
+        dims,
+        &config.learned,
+    );
+    let exact_rows = sampling::sample_rows(table, size.min(table.row_count()), &mut rng);
+    let exact = ExactScanEstimator::new(Device::new(backend), &exact_rows, dims);
+    let mut hybrid = HybridEstimator::new(kde, learned, exact, config.router.clone());
+    let kde0 = hybrid.kde().model().device().modeled_seconds();
+    let exact0 = hybrid.exact().device().modeled_seconds();
+    let learned_cost = hybrid.learned().query_cost();
+    let wall = Instant::now();
+    for (region, &actual) in regions.iter().zip(actuals) {
+        let (estimate, _family) = hybrid.estimate_routed(region);
+        let feedback = QueryFeedback {
+            region: region.clone(),
+            estimate,
+            actual,
+            cardinality: 0,
+        };
+        kdesel_types::SelectivityEstimator::observe(&mut hybrid, &feedback);
+    }
+    let measured = wall.elapsed().as_secs_f64();
+    let learned_decisions = hybrid.router().decisions()[Family::Learned.index()] as f64;
+    let modeled = (hybrid.kde().model().device().modeled_seconds() - kde0)
+        + (hybrid.exact().device().modeled_seconds() - exact0)
+        + learned_decisions * learned_cost;
+    PerfPoint {
+        model_size: size,
+        modeled_seconds: Some(modeled),
+        measured_seconds: measured,
     }
 }
 
@@ -280,6 +432,7 @@ mod tests {
             sample_sizes: vec![1 << 10, 1 << 14, 1 << 18],
             queries: 20,
             include_stholes: false,
+            include_bakeoff: false,
             seed: 1,
         };
         let series = run_perf(&config);
@@ -321,6 +474,45 @@ mod tests {
     }
 
     #[test]
+    fn bakeoff_series_join_the_sweep() {
+        let config = PerfConfig {
+            dims: 3,
+            rows: 3_000,
+            sample_sizes: vec![1 << 7, 1 << 10],
+            queries: 10,
+            include_stholes: false,
+            include_bakeoff: true,
+            seed: 3,
+        };
+        let series = run_perf(&config);
+        for label in [
+            "learned",
+            "exact/sim-gpu",
+            "exact/cpu-par",
+            "hybrid/sim-gpu",
+        ] {
+            let s = series
+                .iter()
+                .find(|s| s.label == label)
+                .unwrap_or_else(|| panic!("missing series {label}"));
+            assert_eq!(s.points.len(), 2);
+            for p in &s.points {
+                let m = p.modeled_seconds.expect("bake-off series are modeled");
+                assert!(m > 0.0, "{label}: modeled {m}");
+            }
+        }
+        // The learned model's per-query cost does not grow with the
+        // sample; the exact scan's does.
+        let m = |label: &str, i: usize| {
+            series.iter().find(|s| s.label == label).unwrap().points[i]
+                .modeled_seconds
+                .unwrap()
+        };
+        assert_eq!(m("learned", 0), m("learned", 1));
+        assert!(m("exact/cpu-par", 1) > m("exact/cpu-par", 0));
+    }
+
+    #[test]
     fn stholes_measured_time_grows_with_model() {
         let config = PerfConfig {
             dims: 3,
@@ -328,6 +520,7 @@ mod tests {
             sample_sizes: vec![1 << 8, 1 << 13],
             queries: 50,
             include_stholes: true,
+            include_bakeoff: false,
             seed: 2,
         };
         let series = run_perf(&config);

@@ -1,0 +1,408 @@
+//! Naru-style autoregressive learned estimator.
+//!
+//! Follows *Deep Unsupervised Cardinality Estimation* (Yang et al.,
+//! PAPERS.md) scaled down to the staged sample: each dimension is
+//! discretized into `B` equi-width bins and the joint distribution is
+//! factorized autoregressively. We truncate the conditioning to a
+//! first-order chain (dimension `i` conditions on dimension `i-1`
+//! only), so the parameters are one logit vector for dimension 0 plus
+//! one `B x B` conditional logit matrix per subsequent dimension —
+//! `B + (d-1)B^2` parameters in total.
+//!
+//! **Training objective.** Maximum likelihood over the sample's binned
+//! rows. With per-context counts `c` precomputed once, the negative
+//! log-likelihood decomposes into independent softmax blocks
+//!
+//! ```text
+//! f(theta) = sum_blocks [ n_blk * logsumexp(theta_blk) - <c_blk, theta_blk> ]
+//!            + l2 * |theta|^2
+//! ```
+//!
+//! which is convex with analytic gradient
+//! `n_blk * softmax(theta_blk) - c_blk + 2*l2*theta` — solved by the
+//! in-tree projected L-BFGS (`kdesel-solver`) from `theta = 0`.
+//! Contexts never seen in the sample keep zero logits (the L2 term
+//! pins them), i.e. they fall back to the uniform conditional.
+//!
+//! **Inference.** Range queries are answered by Naru's progressive
+//! sampling: walk the dimensions in order, weight each bin by the
+//! fractional overlap of the query interval with the bin, accumulate
+//! the weighted conditional mass, and sample the next conditioning bin
+//! proportionally to `p(b) * overlap(b)`. Averaging a handful of paths
+//! gives an unbiased estimate of the discretized selectivity. The RNG
+//! is seeded from a hash of the query rectangle, so estimates are a
+//! pure function of (model, query) — deterministic across backends and
+//! call orders.
+
+use kdesel_solver::{lbfgs, Bounds, FnObjective, LbfgsConfig};
+use kdesel_types::Rect;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Hyper-parameters for [`LearnedEstimator::train`].
+#[derive(Debug, Clone)]
+pub struct LearnedConfig {
+    /// Equi-width bins per dimension.
+    pub bins: usize,
+    /// Progressive-sampling paths averaged per query.
+    pub paths: usize,
+    /// L2 regularization weight on the logits.
+    pub l2: f64,
+    /// Solver configuration for the maximum-likelihood fit.
+    pub lbfgs: LbfgsConfig,
+}
+
+impl Default for LearnedConfig {
+    fn default() -> Self {
+        Self {
+            bins: 16,
+            paths: 32,
+            l2: 1e-3,
+            lbfgs: LbfgsConfig::default(),
+        }
+    }
+}
+
+/// A trained first-order autoregressive model over discretized
+/// dimensions.
+#[derive(Debug, Clone)]
+pub struct LearnedEstimator {
+    dims: usize,
+    bins: usize,
+    paths: usize,
+    /// Per-dimension bin origin.
+    lo: Vec<f64>,
+    /// Per-dimension bin width; `0.0` marks a degenerate (point-mass)
+    /// dimension whose single value sits at `lo`.
+    width: Vec<f64>,
+    /// Marginal distribution of dimension 0's bins.
+    p0: Vec<f64>,
+    /// Conditional `B x B` row-major tables: `trans[i-1][prev * B + cur]`
+    /// is `p(bin_i = cur | bin_{i-1} = prev)`.
+    trans: Vec<Vec<f64>>,
+    /// L-BFGS iterations the fit took (reporting only).
+    iterations: usize,
+}
+
+/// Adds one softmax block's NLL and gradient; returns its objective
+/// contribution.
+fn softmax_block(theta: &[f64], counts: &[f64], grad: &mut [f64]) -> f64 {
+    let n_blk: f64 = counts.iter().sum();
+    if n_blk == 0.0 {
+        return 0.0;
+    }
+    let max = theta.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let mut z = 0.0;
+    for &t in theta {
+        z += (t - max).exp();
+    }
+    let lse = max + z.ln();
+    let mut f = n_blk * lse;
+    for ((&t, &c), g) in theta.iter().zip(counts).zip(grad.iter_mut()) {
+        f -= c * t;
+        *g += n_blk * (t - max).exp() / z - c;
+    }
+    f
+}
+
+/// Normalized probabilities of one logit block.
+fn softmax(theta: &[f64]) -> Vec<f64> {
+    let max = theta.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let exps: Vec<f64> = theta.iter().map(|&t| (t - max).exp()).collect();
+    let z: f64 = exps.iter().sum();
+    exps.into_iter().map(|e| e / z).collect()
+}
+
+/// FNV-1a over the query rectangle's bit pattern: the per-query RNG
+/// seed, so inference is deterministic in the query alone. The hybrid
+/// estimator reuses it as a feedback-attribution key.
+pub(crate) fn rect_seed(region: &Rect) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |v: f64| {
+        for b in v.to_bits().to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    for &v in region.lo() {
+        mix(v);
+    }
+    for &v in region.hi() {
+        mix(v);
+    }
+    h
+}
+
+impl LearnedEstimator {
+    /// Fits the model to `sample` (row-major, `dims` values per row).
+    ///
+    /// # Panics
+    /// Panics if the sample is empty, ragged, or `config.bins == 0`.
+    pub fn train(sample: &[f64], dims: usize, config: &LearnedConfig) -> Self {
+        assert!(dims > 0, "learned estimator needs at least one dimension");
+        assert!(config.bins > 0, "learned estimator needs at least one bin");
+        assert!(
+            !sample.is_empty() && sample.len().is_multiple_of(dims),
+            "sample length {} is not a multiple of dims {dims}",
+            sample.len()
+        );
+        let rows = sample.len() / dims;
+        let bins = config.bins;
+
+        // Equi-width discretization over the sample's bounding box.
+        let mut lo = vec![f64::INFINITY; dims];
+        let mut hi = vec![f64::NEG_INFINITY; dims];
+        for row in sample.chunks_exact(dims) {
+            for (d, &v) in row.iter().enumerate() {
+                lo[d] = lo[d].min(v);
+                hi[d] = hi[d].max(v);
+            }
+        }
+        let width: Vec<f64> = lo
+            .iter()
+            .zip(&hi)
+            .map(|(&l, &h)| if h > l { (h - l) / bins as f64 } else { 0.0 })
+            .collect();
+        let bin_of = |d: usize, v: f64| -> usize {
+            if width[d] == 0.0 {
+                0
+            } else {
+                (((v - lo[d]) / width[d]) as usize).min(bins - 1)
+            }
+        };
+
+        // Sufficient statistics: marginal counts for dimension 0 and
+        // first-order transition counts for each subsequent dimension.
+        let mut c0 = vec![0.0f64; bins];
+        let mut ct = vec![vec![0.0f64; bins * bins]; dims.saturating_sub(1)];
+        for row in sample.chunks_exact(dims) {
+            let mut prev = bin_of(0, row[0]);
+            c0[prev] += 1.0;
+            for (d, &v) in row.iter().enumerate().skip(1) {
+                let cur = bin_of(d, v);
+                ct[d - 1][prev * bins + cur] += 1.0;
+                prev = cur;
+            }
+        }
+
+        // Maximum-likelihood fit of all logits jointly (the blocks are
+        // independent, but one solve keeps the plumbing simple).
+        let params = bins + (dims - 1) * bins * bins;
+        let l2 = config.l2;
+        let obj = FnObjective::new(params, move |x: &[f64], grad: &mut [f64]| {
+            grad.fill(0.0);
+            let mut f = softmax_block(&x[..bins], &c0, &mut grad[..bins]);
+            for (i, counts) in ct.iter().enumerate() {
+                let base = bins + i * bins * bins;
+                for prev in 0..bins {
+                    let s = base + prev * bins;
+                    f += softmax_block(
+                        &x[s..s + bins],
+                        &counts[prev * bins..(prev + 1) * bins],
+                        &mut grad[s..s + bins],
+                    );
+                }
+            }
+            for (&xi, g) in x.iter().zip(grad.iter_mut()) {
+                f += l2 * xi * xi;
+                *g += 2.0 * l2 * xi;
+            }
+            f
+        });
+        let result = lbfgs(
+            &obj,
+            &Bounds::unbounded(params),
+            &vec![0.0; params],
+            &config.lbfgs,
+        );
+
+        let p0 = softmax(&result.x[..bins]);
+        let trans: Vec<Vec<f64>> = (0..dims - 1)
+            .map(|i| {
+                let base = bins + i * bins * bins;
+                let mut table = Vec::with_capacity(bins * bins);
+                for prev in 0..bins {
+                    let s = base + prev * bins;
+                    table.extend(softmax(&result.x[s..s + bins]));
+                }
+                table
+            })
+            .collect();
+
+        if kdesel_telemetry::enabled() {
+            kdesel_telemetry::counter("estimators.learned.trained").inc();
+            kdesel_telemetry::gauge("estimators.learned.iterations").set(result.iterations as f64);
+        }
+        let _ = rows;
+        Self {
+            dims,
+            bins,
+            paths: config.paths.max(1),
+            lo,
+            width,
+            p0,
+            trans,
+            iterations: result.iterations,
+        }
+    }
+
+    /// Fractional overlap of `[ql, qh]` with bin `b` of dimension `d`,
+    /// in `[0, 1]`. Degenerate dimensions use inclusive point
+    /// containment, matching [`Rect::contains`] semantics.
+    fn overlap(&self, d: usize, b: usize, ql: f64, qh: f64) -> f64 {
+        if self.width[d] == 0.0 {
+            return f64::from(ql <= self.lo[d] && self.lo[d] <= qh);
+        }
+        let blo = self.lo[d] + b as f64 * self.width[d];
+        let bhi = blo + self.width[d];
+        ((qh.min(bhi) - ql.max(blo)) / self.width[d]).clamp(0.0, 1.0)
+    }
+
+    /// One progressive-sampling path's selectivity estimate.
+    fn sample_path(&self, region: &Rect, rng: &mut StdRng) -> f64 {
+        let mut estimate = 1.0;
+        let mut prev = 0usize;
+        for d in 0..self.dims {
+            let dist = if d == 0 {
+                &self.p0[..]
+            } else {
+                &self.trans[d - 1][prev * self.bins..(prev + 1) * self.bins]
+            };
+            let (ql, qh) = (region.lo()[d], region.hi()[d]);
+            let mut mass = 0.0;
+            for (b, &p) in dist.iter().enumerate() {
+                mass += p * self.overlap(d, b, ql, qh);
+            }
+            if mass <= 0.0 {
+                return 0.0;
+            }
+            estimate *= mass;
+            if d + 1 == self.dims {
+                break;
+            }
+            // Sample the conditioning bin proportionally to weighted mass.
+            let mut u = rng.gen::<f64>() * mass;
+            prev = self.bins - 1;
+            for (b, &p) in dist.iter().enumerate() {
+                u -= p * self.overlap(d, b, ql, qh);
+                if u <= 0.0 {
+                    prev = b;
+                    break;
+                }
+            }
+        }
+        estimate
+    }
+
+    /// Estimated selectivity of `region`, averaged over the configured
+    /// number of progressive-sampling paths and clamped to `[0, 1]`.
+    pub fn estimate(&self, region: &Rect) -> f64 {
+        assert_eq!(region.dims(), self.dims, "query dimensionality mismatch");
+        let mut rng = StdRng::seed_from_u64(rect_seed(region));
+        let total: f64 = (0..self.paths)
+            .map(|_| self.sample_path(region, &mut rng))
+            .sum();
+        (total / self.paths as f64).clamp(0.0, 1.0)
+    }
+
+    /// Model dimensionality.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Bins per dimension.
+    pub fn bins(&self) -> usize {
+        self.bins
+    }
+
+    /// L-BFGS iterations the maximum-likelihood fit took.
+    pub fn training_iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// Modeled host seconds one query costs. Progressive sampling runs
+    /// on the host (no device launch): each path touches every
+    /// dimension's `bins`-wide conditional once, at roughly four FLOPs
+    /// per bin (overlap clip, multiply-accumulate), priced at a
+    /// conservative scalar host throughput.
+    pub fn query_cost(&self) -> f64 {
+        const HOST_FLOPS_PER_SEC: f64 = 5e9;
+        (self.paths * self.dims * self.bins) as f64 * 4.0 / HOST_FLOPS_PER_SEC
+    }
+
+    /// Bytes held by the probability tables.
+    pub fn memory_bytes(&self) -> usize {
+        let floats = self.p0.len() + self.trans.iter().map(Vec::len).sum::<usize>() + 2 * self.dims;
+        floats * std::mem::size_of::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_sample(rows: usize, dims: usize, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..rows * dims)
+            .map(|_| rng.gen_range(0.0..100.0))
+            .collect()
+    }
+
+    #[test]
+    fn whole_domain_estimates_one() {
+        let sample = grid_sample(500, 3, 7);
+        let model = LearnedEstimator::train(&sample, 3, &LearnedConfig::default());
+        let est = model.estimate(&Rect::cube(3, -1e6, 1e6));
+        assert!((est - 1.0).abs() < 1e-9, "whole domain gave {est}");
+    }
+
+    #[test]
+    fn empty_region_estimates_zero() {
+        let sample = grid_sample(500, 2, 11);
+        let model = LearnedEstimator::train(&sample, 2, &LearnedConfig::default());
+        assert_eq!(model.estimate(&Rect::cube(2, 500.0, 600.0)), 0.0);
+    }
+
+    #[test]
+    fn estimates_are_deterministic_and_order_free() {
+        let sample = grid_sample(400, 3, 3);
+        let model = LearnedEstimator::train(&sample, 3, &LearnedConfig::default());
+        let a = Rect::cube(3, 10.0, 60.0);
+        let b = Rect::cube(3, 0.0, 35.0);
+        let (ea1, eb1) = (model.estimate(&a), model.estimate(&b));
+        let (eb2, ea2) = (model.estimate(&b), model.estimate(&a));
+        assert_eq!(ea1, ea2);
+        assert_eq!(eb1, eb2);
+    }
+
+    #[test]
+    fn tracks_selectivity_of_half_space() {
+        // Correlated data: dim1 = dim0, so the learned conditional must
+        // carry the dependence a marginal product would miss.
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut sample = Vec::new();
+        for _ in 0..2000 {
+            let v: f64 = rng.gen_range(0.0..100.0);
+            sample.extend([v, v]);
+        }
+        let model = LearnedEstimator::train(&sample, 2, &LearnedConfig::default());
+        // Box [0,50]^2 holds ~half the diagonal; independent marginals
+        // would answer ~0.25.
+        let est = model.estimate(&Rect::cube(2, 0.0, 50.0));
+        assert!((0.35..=0.65).contains(&est), "diagonal estimate {est}");
+    }
+
+    #[test]
+    fn degenerate_dimension_uses_point_containment() {
+        let mut sample = Vec::new();
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..200 {
+            sample.extend([rng.gen_range(0.0..10.0), 42.0]);
+        }
+        let model = LearnedEstimator::train(&sample, 2, &LearnedConfig::default());
+        let hit = model.estimate(&Rect::new(vec![0.0, 42.0], vec![10.0, 42.0]));
+        let miss = model.estimate(&Rect::new(vec![0.0, 43.0], vec![10.0, 44.0]));
+        assert!((hit - 1.0).abs() < 1e-9, "point hit gave {hit}");
+        assert_eq!(miss, 0.0);
+    }
+}

@@ -11,6 +11,7 @@
 use crate::estimator::KdeEstimator;
 use crate::kernel::KernelFn;
 use kdesel_device::Device;
+use kdesel_types::RouterState;
 
 /// Serializable snapshot of a KDE model.
 #[derive(Debug, Clone, PartialEq)]
@@ -23,6 +24,10 @@ pub struct ModelSnapshot {
     pub kernel: String,
     /// Diagonal bandwidth.
     pub bandwidth: Vec<f64>,
+    /// Hybrid-router state, present when the snapshot was taken from a
+    /// hybrid model (KDE + learned + exact behind a cost/error router).
+    /// Plain KDE snapshots omit it and restore exactly as before.
+    pub router: Option<RouterState>,
 }
 
 impl ModelSnapshot {
@@ -33,7 +38,14 @@ impl ModelSnapshot {
             dims: estimator.dims(),
             kernel: estimator.kernel().name().to_string(),
             bandwidth: estimator.bandwidth().to_vec(),
+            router: None,
         }
+    }
+
+    /// Attaches hybrid-router state to the snapshot.
+    pub fn with_router(mut self, router: RouterState) -> Self {
+        self.router = Some(router);
+        self
     }
 
     /// Rebuilds a model on `device` from this snapshot.
@@ -82,6 +94,10 @@ impl ModelSnapshot {
         out.push_str(&format!(",\"kernel\":\"{}\"", self.kernel));
         out.push_str(",\"bandwidth\":");
         push_floats(&mut out, &self.bandwidth);
+        if let Some(router) = &self.router {
+            out.push_str(",\"router\":");
+            out.push_str(&router.to_json());
+        }
         out.push('}');
         out
     }
@@ -97,6 +113,7 @@ impl ModelSnapshot {
         let mut dims = None;
         let mut kernel = None;
         let mut bandwidth = None;
+        let mut router = None;
         p.skip_ws();
         p.expect(b'{')?;
         loop {
@@ -110,6 +127,13 @@ impl ModelSnapshot {
                 "bandwidth" => bandwidth = Some(p.float_array()?),
                 "dims" => dims = Some(p.number()? as usize),
                 "kernel" => kernel = Some(p.string()?),
+                "router" => {
+                    // The router state parses (and validates) itself;
+                    // resume this parser just past its closing brace.
+                    let (state, end) = RouterState::parse_embedded(p.bytes, p.pos)?;
+                    p.pos = end;
+                    router = Some(state);
+                }
                 other => return Err(format!("unknown snapshot key {other:?}")),
             }
             p.skip_ws();
@@ -128,6 +152,7 @@ impl ModelSnapshot {
             dims: dims.ok_or("missing key \"dims\"")?,
             kernel: kernel.ok_or("missing key \"kernel\"")?,
             bandwidth: bandwidth.ok_or("missing key \"bandwidth\"")?,
+            router,
         })
     }
 }
@@ -290,6 +315,24 @@ mod tests {
         ] {
             assert!(ModelSnapshot::from_json(bad).is_err(), "accepted {bad:?}");
         }
+    }
+
+    #[test]
+    fn router_state_roundtrips_inside_snapshot() {
+        let state = RouterState {
+            families: vec!["kde".into(), "learned".into(), "exact".into()],
+            windows: vec![vec![1.0, 2.5], vec![], vec![1.25]],
+            decisions: vec![7, 0, 3],
+            last: Some("exact".into()),
+        };
+        let snapshot = ModelSnapshot::of(&model()).with_router(state.clone());
+        let json = snapshot.to_json();
+        let back = ModelSnapshot::from_json(&json).expect("deserialize");
+        assert_eq!(back, snapshot);
+        assert_eq!(back.router, Some(state));
+        // An embedded-but-invalid router state is rejected, not dropped.
+        let bad = json.replace("\"last\":\"exact\"", "\"last\":\"stholes\"");
+        assert!(ModelSnapshot::from_json(&bad).is_err());
     }
 
     #[test]

@@ -30,6 +30,9 @@ use crate::config::ServeConfig;
 use crate::model::{ModelKey, ServedModel};
 use crate::service::Service;
 use kdesel_device::{Backend, Device};
+use kdesel_estimators::{
+    ExactScanEstimator, HybridEstimator, LearnedConfig, LearnedEstimator, RouterConfig,
+};
 use kdesel_kde::{
     AdaptiveConfig, AdaptiveKde, KarmaConfig, LossFunction, ModelSnapshot, RmsPropConfig,
 };
@@ -69,6 +72,13 @@ enum CapturedKind {
         refresh: bool,
         adaptive: AdaptiveConfig,
         karma: KarmaConfig,
+    },
+    Hybrid {
+        refresh: bool,
+        adaptive: AdaptiveConfig,
+        karma: KarmaConfig,
+        router: RouterConfig,
+        learned: LearnedConfig,
     },
 }
 
@@ -298,6 +308,19 @@ impl Capture {
         // advances so a flagged slot can only consume replacements that
         // the *current* feedback op actually installed.
         type Script = Arc<(Mutex<VecDeque<(usize, usize, Vec<f64>)>>, AtomicUsize)>;
+        fn scripted_refresh(script: &Script) -> crate::model::RefreshFn {
+            let script = Arc::clone(script);
+            Box::new(move |slot| {
+                let (queue, cursor) = &*script;
+                let mut queue = queue.lock().expect("script lock");
+                match queue.front() {
+                    Some((op, s, _)) if *op == cursor.load(Ordering::SeqCst) && *s == slot => {
+                        queue.pop_front().map(|(_, _, row)| row)
+                    }
+                    _ => None,
+                }
+            })
+        }
         let mut scripts: Vec<Script> = Vec::new();
         for model in &self.models {
             let queue = self
@@ -340,24 +363,34 @@ impl Capture {
                     let kde =
                         AdaptiveKde::from_estimator(estimator, adaptive.clone(), karma.clone());
                     if *refresh {
-                        let script = Arc::clone(script);
-                        ServedModel::adaptive_with_refresh(
-                            kde,
-                            Box::new(move |slot| {
-                                let (queue, cursor) = &*script;
-                                let mut queue = queue.lock().expect("script lock");
-                                match queue.front() {
-                                    Some((op, s, _))
-                                        if *op == cursor.load(Ordering::SeqCst) && *s == slot =>
-                                    {
-                                        queue.pop_front().map(|(_, _, row)| row)
-                                    }
-                                    _ => None,
-                                }
-                            }),
-                        )
+                        ServedModel::adaptive_with_refresh(kde, scripted_refresh(script))
                     } else {
                         ServedModel::adaptive(kde)
+                    }
+                }
+                CapturedKind::Hybrid {
+                    refresh,
+                    adaptive,
+                    karma,
+                    router,
+                    learned,
+                } => {
+                    let dims = model.snapshot.dims;
+                    let kde =
+                        AdaptiveKde::from_estimator(estimator, adaptive.clone(), karma.clone());
+                    let learned_model =
+                        LearnedEstimator::train(&model.snapshot.sample, dims, learned);
+                    let exact = ExactScanEstimator::new(
+                        Device::new(model.backend),
+                        &model.snapshot.sample,
+                        dims,
+                    );
+                    let hybrid = HybridEstimator::new(kde, learned_model, exact, router.clone())
+                        .with_learned_config(learned.clone());
+                    if *refresh {
+                        ServedModel::hybrid_with_refresh(hybrid, scripted_refresh(script))
+                    } else {
+                        ServedModel::hybrid(hybrid)
                     }
                 }
             };
@@ -467,12 +500,11 @@ fn parse_model(record: &Record) -> Result<CapturedModel, String> {
         dims: usize::try_from(record.u64("dims")?).map_err(|e| e.to_string())?,
         kernel: record.str("kernel")?.to_string(),
         bandwidth: record.f64s("bandwidth")?,
+        router: None,
     };
-    let kind = match record.str("kind")? {
-        "static" => CapturedKind::Static,
-        "adaptive" => CapturedKind::Adaptive {
-            refresh: record.u64("refresh")? != 0,
-            adaptive: AdaptiveConfig {
+    fn parse_tuning(record: &Record) -> Result<(AdaptiveConfig, KarmaConfig), String> {
+        Ok((
+            AdaptiveConfig {
                 loss: parse_loss(record.str("loss")?)?,
                 mini_batch: usize::try_from(record.u64("mini_batch")?)
                     .map_err(|e| e.to_string())?,
@@ -487,13 +519,46 @@ fn parse_model(record: &Record) -> Result<CapturedModel, String> {
                     epsilon: record.f64("rms_epsilon")?,
                 },
             },
-            karma: KarmaConfig {
+            KarmaConfig {
                 loss: parse_loss(record.str("karma_loss")?)?,
                 k_max: record.f64("karma_k_max")?,
                 threshold: record.f64("karma_threshold")?,
                 empty_region_shortcut: record.u64("karma_shortcut")? != 0,
             },
-        },
+        ))
+    }
+    let kind = match record.str("kind")? {
+        "static" => CapturedKind::Static,
+        "adaptive" => {
+            let (adaptive, karma) = parse_tuning(record)?;
+            CapturedKind::Adaptive {
+                refresh: record.u64("refresh")? != 0,
+                adaptive,
+                karma,
+            }
+        }
+        "hybrid" => {
+            let (adaptive, karma) = parse_tuning(record)?;
+            CapturedKind::Hybrid {
+                refresh: record.u64("refresh")? != 0,
+                adaptive,
+                karma,
+                router: RouterConfig {
+                    window: usize::try_from(record.u64("router_window")?)
+                        .map_err(|e| e.to_string())?,
+                    latency_budget: record.f64("router_budget")?,
+                    probe_every: record.u64("router_probe")?,
+                },
+                learned: LearnedConfig {
+                    bins: usize::try_from(record.u64("learned_bins")?)
+                        .map_err(|e| e.to_string())?,
+                    paths: usize::try_from(record.u64("learned_paths")?)
+                        .map_err(|e| e.to_string())?,
+                    l2: record.f64("learned_l2")?,
+                    ..LearnedConfig::default()
+                },
+            }
+        }
         other => return Err(format!("unknown model kind {other:?}")),
     };
     Ok(CapturedModel {

@@ -91,6 +91,11 @@ pub fn validate(snapshot: &ModelSnapshot) -> Result<(), String> {
     if !matches!(snapshot.kernel.as_str(), "gaussian" | "epanechnikov") {
         return Err(format!("unknown kernel {:?}", snapshot.kernel));
     }
+    if let Some(router) = &snapshot.router {
+        router
+            .validate()
+            .map_err(|e| format!("router state: {e}"))?;
+    }
     Ok(())
 }
 
@@ -104,6 +109,7 @@ mod tests {
             dims: 2,
             kernel: "gaussian".to_string(),
             bandwidth: vec![0.5, 0.6],
+            router: None,
         }
     }
 
@@ -174,6 +180,14 @@ mod tests {
             ("nan bandwidth", |s| s.bandwidth[0] = f64::NAN),
             ("nan sample", |s| s.sample[0] = f64::NAN),
             ("unknown kernel", |s| s.kernel = "triangular".to_string()),
+            ("invalid router state", |s| {
+                s.router = Some(kdesel_types::RouterState {
+                    families: vec!["kde".to_string()],
+                    windows: vec![vec![0.5]],
+                    decisions: vec![0],
+                    last: None,
+                })
+            }),
         ];
         for (what, corrupt) in cases {
             let mut snap = snapshot();

@@ -7,9 +7,18 @@
 use kdesel_bench::{emit_winrates, Cli};
 use kdesel_engine::experiments::static_quality::{figure_cells, run_static_cell, StaticConfig};
 use kdesel_engine::experiments::winrate::WinRateMatrix;
+use kdesel_engine::EstimatorKind;
 
 fn main() {
     let cli = Cli::parse();
+    // The paper's five, plus the bake-off families: the learned and
+    // exact baselines and the hybrid router over all three.
+    let mut estimators = EstimatorKind::ALL.to_vec();
+    estimators.extend([
+        EstimatorKind::Learned,
+        EstimatorKind::Exact,
+        EstimatorKind::Hybrid,
+    ]);
     let config = StaticConfig {
         rows: cli.rows_or(6_000, 100_000),
         repetitions: cli.reps_or(2, 25),
@@ -17,7 +26,7 @@ fn main() {
         test_queries: if cli.full { 300 } else { 100 },
         seed: cli.seed.unwrap_or(0x5e1ec7),
         fast_optimizers: !cli.full,
-        ..Default::default()
+        estimators,
     };
     eprintln!(
         "# Table 1: win rates over all static experiments (rows={} reps={})",

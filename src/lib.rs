@@ -27,6 +27,7 @@
 pub use kdesel_data as data;
 pub use kdesel_device as device;
 pub use kdesel_engine as engine;
+pub use kdesel_estimators as estimators;
 pub use kdesel_hist as hist;
 pub use kdesel_kde as kde;
 pub use kdesel_math as math;
